@@ -1,0 +1,62 @@
+"""Ablation: RU sharing's numPrb widening vs an exact C-plane merge.
+
+Section 4.3 chooses to widen the first C-plane request to the RU's full
+spectrum instead of waiting to merge all DUs' requests, trading fronthaul
+bandwidth for robustness against DUs that send no C-plane (no traffic).
+This bench quantifies both sides:
+
+- extra uplink fronthaul bytes of full-spectrum responses, and
+- the symbols an exact-merge design loses when a DU is idle (it must
+  either stall or time out waiting for a request that never comes).
+"""
+
+from _harness import report
+
+from repro.eval.report import format_table
+from repro.fronthaul.compression import CompressionConfig
+
+
+def analyze(du_activity=(1.0, 0.75, 0.5, 0.25), n_dus=2, ru_prbs=273,
+            du_prbs=106, ul_symbols_per_second=5_143):
+    prb_bytes = CompressionConfig().prb_payload_bytes()
+    rows = []
+    for activity in du_activity:
+        # Widening: the RU always returns its full spectrum per requested
+        # symbol; any DU's request triggers it.
+        p_any = 1 - (1 - activity) ** n_dus
+        widened_bytes = p_any * ru_prbs * prb_bytes * ul_symbols_per_second
+        # Exact: only requested slices return, but the merge must wait for
+        # all active DUs; symbols where only some DUs requested are late
+        # or dropped under an exact-merge-with-deadline design.
+        exact_bytes = (
+            activity * n_dus * du_prbs * prb_bytes * ul_symbols_per_second
+        )
+        p_partial = p_any - activity**n_dus
+        rows.append(
+            (
+                activity,
+                round(widened_bytes * 8 / 1e9, 2),
+                round(exact_bytes * 8 / 1e9, 2),
+                round(p_partial * 100, 1),
+            )
+        )
+    return rows
+
+
+def test_ablation_sharing(benchmark):
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation: numPrb widening vs exact C-plane merge (per UL port)",
+        ("DU activity", "widened Gbps", "exact Gbps", "symbols at risk %"),
+        rows,
+    )
+    report("ablation_sharing", text)
+    # Widening costs more bandwidth at low activity ...
+    low = rows[-1]
+    assert low[1] > low[2]
+    # ... but the exact design risks a significant share of symbols
+    # whenever DUs are not all active together.
+    assert low[3] > 20.0
+    # At full activity the bandwidth gap narrows to the slice overhead.
+    full = rows[0]
+    assert full[1] / max(full[2], 1e-9) < 1.4

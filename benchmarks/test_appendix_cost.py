@@ -1,0 +1,11 @@
+"""Benchmark: Appendix A.2 — CapEx comparison."""
+
+from _harness import report
+
+from repro.eval.appendix import run_cost_analysis
+
+
+def test_appendix_cost(benchmark):
+    result = benchmark.pedantic(run_cost_analysis, rounds=1, iterations=1)
+    report("appendix_a2", result.format())
+    assert 0.38 < result.savings_fraction < 0.44  # "41% cheaper"

@@ -1,0 +1,13 @@
+"""Benchmark: Appendix A.1 — PRB alignment and PRACH translation math."""
+
+from _harness import report
+
+from repro.eval.appendix import run_sharing_math
+
+
+def test_appendix_sharing_math(benchmark):
+    result = benchmark.pedantic(run_sharing_math, rounds=1, iterations=1)
+    report("appendix_a1", result.format())
+    assert result.du_offsets_prb == [0.0, 106.0]
+    # Both freqOffset derivations agreed inside the runner (asserted there).
+    assert result.prach_offsets

@@ -1,0 +1,59 @@
+"""Benchmark: SR-IOV chain depth vs fronthaul load (Section 5).
+
+"The total number of middleboxes that can be chained ... is constrained
+by the PCIe throughput" — this bench sweeps cell configurations and
+reports how many middleboxes one NIC sustains, plus the added chain
+latency against the slot deadline.
+"""
+
+from _harness import report
+
+from repro.core.latency import DEFAULT_COST_MODEL
+from repro.eval.fig15 import SLOT_BUDGET_NS, uplane_wire_bytes
+from repro.eval.report import format_table
+from repro.fronthaul.timing import SYMBOLS_PER_SLOT
+from repro.net.nic import Nic
+from repro.ran.cell import CellConfig
+
+
+def analyze():
+    nic = Nic()
+    rows = []
+    for bandwidth_mhz, n_rus in ((40, 2), (40, 4), (100, 2), (100, 4),
+                                 (100, 6)):
+        cell = CellConfig(pci=1, bandwidth_hz=bandwidth_mhz * 1_000_000)
+        frame = uplane_wire_bytes(cell.num_prb)
+        symbols_per_second = cell.numerology.slots_per_second * SYMBOLS_PER_SLOT
+        # Fronthaul load of the DAS deployment: per-port streams to every RU.
+        gbps = (
+            frame * 8 * symbols_per_second * cell.n_antennas * n_rus / 1e9
+        )
+        depth = nic.max_chain_depth(gbps)
+        # Added one-way latency of a depth-2 chain (forward per hop).
+        hop_ns = DEFAULT_COST_MODEL.forward_ns + frame * 8 / nic.port_gbps
+        rows.append(
+            (
+                f"{bandwidth_mhz}MHz x {n_rus} RUs",
+                round(gbps, 1),
+                depth,
+                round(2 * hop_ns),
+            )
+        )
+    return rows
+
+
+def test_chain_depth(benchmark):
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        "Section 5: PCIe-bounded middlebox chain depth per NIC",
+        ("deployment", "fronthaul Gbps", "max chain depth", "2-hop ns"),
+        rows,
+    )
+    report("chain_depth", text)
+    by_name = {row[0]: row for row in rows}
+    # Small cells leave room for deep chains; 100 MHz DAS at scale leaves
+    # only a couple of hops, and latency stays well under the deadline.
+    assert by_name["40MHz x 2 RUs"][2] >= 8
+    assert by_name["100MHz x 6 RUs"][2] <= 4
+    for row in rows:
+        assert row[3] < SLOT_BUDGET_NS

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 10a — DAS correctness (single cell vs 5-RU DAS)."""
+
+from _harness import report
+
+from repro.eval.fig10 import run_fig10a
+
+
+def test_fig10a_das(benchmark):
+    result = benchmark.pedantic(run_fig10a, rounds=1, iterations=1)
+    report("fig10a", result.format())
+    # Headline claims: DAS matches the baseline, upper floors only attach
+    # with DAS.
+    assert abs(
+        result.das_simultaneous_dl_mbps - result.baseline_dl_mbps
+    ) < 0.05 * result.baseline_dl_mbps
+    assert result.upper_floor_attach_failures == 4

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10b — RU sharing throughput parity."""
+
+from _harness import report
+
+from repro.eval.fig10 import run_fig10b
+
+
+def test_fig10b_sharing(benchmark):
+    result = benchmark.pedantic(run_fig10b, rounds=1, iterations=1)
+    report("fig10b", result.format())
+    for name in ("A", "B"):
+        assert abs(
+            result.shared_dl_mbps[name] - result.dedicated_dl_mbps
+        ) < 0.05 * result.dedicated_dl_mbps

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 10c — PRB utilization estimate vs ground truth."""
+
+from _harness import report
+
+from repro.eval.fig10 import run_fig10c
+
+
+def test_fig10c_monitor(benchmark):
+    result = benchmark.pedantic(
+        run_fig10c,
+        kwargs=dict(loads_mbps=(0, 100, 200, 300, 400, 500, 600, 700),
+                    n_slots=30),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig10c", result.format())
+    assert result.max_error() < 0.05

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 11 — floor-walk O1/O2/O3 comparison."""
+
+import numpy as np
+from _harness import report
+
+from repro.eval.fig11 import run_fig11
+
+
+def test_fig11_floorwalk(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs=dict(step_m=2.0), rounds=1, iterations=1
+    )
+    series_text = "\n".join(
+        [
+            result.format(),
+            "",
+            "O2 walk series (Mbps): "
+            + " ".join(str(int(v)) for v in result.o2.mbps()),
+            "O3 walk series (Mbps): "
+            + " ".join(str(int(v)) for v in result.o3.mbps()),
+        ]
+    )
+    report("fig11", series_text)
+    assert result.o1.mbps().max() < 250
+    assert result.o2.mbps().min() < 450  # interference dips
+    assert result.o3.mbps().min() > 650  # DAS: ~700 everywhere

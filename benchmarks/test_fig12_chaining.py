@@ -1,0 +1,17 @@
+"""Benchmark: Figure 12 — RU sharing chained with DAS for two MNOs."""
+
+import numpy as np
+from _harness import report
+
+from repro.eval.fig12 import run_fig12
+
+
+def test_fig12_chaining(benchmark):
+    result = benchmark.pedantic(
+        run_fig12, kwargs=dict(step_m=3.0), rounds=1, iterations=1
+    )
+    report("fig12", result.format())
+    for series in (result.mno1_walk_mbps, result.mno2_walk_mbps):
+        arr = np.array(series)
+        assert arr.min() > 300  # ~350 Mbps across the floor per MNO
+        assert abs(arr.mean() - 350) < 40

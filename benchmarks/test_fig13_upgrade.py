@@ -1,0 +1,16 @@
+"""Benchmark: Figure 13 — swapping DAS for dMIMO over 4x1-antenna RUs."""
+
+import numpy as np
+from _harness import report
+
+from repro.eval.fig13 import run_fig13
+
+
+def test_fig13_upgrade(benchmark):
+    result = benchmark.pedantic(
+        run_fig13, kwargs=dict(step_m=2.0), rounds=1, iterations=1
+    )
+    report("fig13", result.format())
+    factors = np.array(result.improvement_factors())
+    assert factors.min() > 1.4
+    assert 2.0 < factors.mean() < 3.2  # "a factor of 2 or 3"

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 14 — power vs throughput of deployment options."""
+
+import numpy as np
+from _harness import report
+
+from repro.eval.fig14 import run_fig14
+
+
+def test_fig14_power(benchmark):
+    result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    report("fig14", result.format())
+    assert 350 < result.per_floor_cells.power_w < 430  # ~400 W
+    assert 160 < result.single_cell_chain.power_w < 210  # ~180 W
+    assert np.mean(result.per_floor_cells.per_floor_dl_mbps) > 500
+    assert np.mean(result.single_cell_chain.per_floor_peak_mbps) > 500

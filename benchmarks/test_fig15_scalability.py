@@ -1,0 +1,25 @@
+"""Benchmark: Figure 15 — DAS scalability and per-packet latency."""
+
+from _harness import report
+
+from repro.eval.fig15 import run_fig15a, run_fig15b
+
+
+def test_fig15a_scalability(benchmark):
+    result = benchmark.pedantic(run_fig15a, rounds=1, iterations=1)
+    report("fig15a", result.format())
+    by_rus = {p.n_rus: p for p in result.points}
+    assert by_rus[4].cores_required == 1
+    assert by_rus[5].cores_required == 2
+    assert by_rus[6].egress_gbps < 100  # within the NIC port rate
+
+
+def test_fig15b_latency(benchmark):
+    result = benchmark.pedantic(
+        run_fig15b, kwargs=dict(ru_counts=(2, 3, 4), n_slots=5),
+        rounds=1, iterations=1,
+    )
+    report("fig15b", result.format())
+    for breakdown in result.breakdowns:
+        assert breakdown.percentile("DL U-Plane", 99) < 300
+        assert breakdown.percentile("UL U-Plane", 99) > 2_000

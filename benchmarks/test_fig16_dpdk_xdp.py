@@ -1,0 +1,21 @@
+"""Benchmark: Figure 16 — DPDK vs XDP CPU utilization."""
+
+from _harness import report
+
+from repro.eval.fig16 import run_fig16
+
+
+def test_fig16_dpdk_xdp(benchmark):
+    result = benchmark.pedantic(
+        run_fig16, kwargs=dict(n_slots=40), rounds=1, iterations=1
+    )
+    report("fig16", result.format())
+    for app in ("das", "dmimo"):
+        assert result.dpdk[app]["Traffic"] == 1.0
+        assert (
+            result.xdp[app]["Idle"]
+            < result.xdp[app]["UE Attached"]
+            < result.xdp[app]["Traffic"]
+        )
+    gap = result.xdp["das"]["Traffic"] - result.xdp["dmimo"]["Traffic"]
+    assert 0.15 < gap < 0.40  # DAS ~25-30 points above dMIMO

@@ -1,0 +1,120 @@
+"""Micro-benchmarks: real Python cost of the heavyweight A4 operations.
+
+The latency *model* (Figure 15b) represents the paper's C/DPDK
+implementation; these benches measure what the same operations cost in
+this Python implementation — the reason a Python middlebox cannot hold
+line rate (the repro constraint documented in DESIGN.md) — and verify the
+model's *relative* ordering (exponent read << decompress < merge).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionContext, PacketCache
+from repro.fronthaul.compression import BfpCompressor, CompressionConfig
+from repro.fronthaul.uplane import UPlaneSection
+
+N_PRB = 273  # one full-band 100 MHz symbol
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = np.random.default_rng(0)
+    return rng.integers(-20000, 20000, size=(N_PRB, 24)).astype(np.int16)
+
+
+@pytest.fixture(scope="module")
+def wire(samples):
+    return BfpCompressor().compress(samples)
+
+
+def test_bfp_compress_full_band(benchmark, samples):
+    compressor = BfpCompressor()
+    benchmark(compressor.compress, samples)
+
+
+def test_bfp_decompress_full_band(benchmark, wire):
+    compressor = BfpCompressor()
+    benchmark(compressor.decompress, wire, N_PRB)
+
+
+def test_exponent_read_full_band(benchmark, wire):
+    """Algorithm 1's fast path: exponents without decompression."""
+    compressor = BfpCompressor()
+    benchmark(compressor.read_exponents, wire, N_PRB)
+
+
+def test_exponent_read_much_cheaper_than_decompress(samples, wire):
+    import time
+
+    compressor = BfpCompressor()
+
+    def timed(fn, *args, repeats=20):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn(*args)
+        return (time.perf_counter() - start) / repeats
+
+    read = timed(compressor.read_exponents, wire, N_PRB)
+    decompress = timed(compressor.decompress, wire, N_PRB)
+    assert read * 5 < decompress
+
+
+def test_iq_merge_4_operands(benchmark, samples):
+    """The DAS uplink merge of four RUs (decompress x4, sum, recompress)."""
+    sections = [
+        UPlaneSection.from_samples(0, 0, samples) for _ in range(4)
+    ]
+
+    def merge():
+        ctx = ActionContext(PacketCache())
+        return ctx.merge_iq(sections)
+
+    benchmark(merge)
+
+
+def test_aligned_prb_copy(benchmark, samples):
+    """RU sharing's aligned path: a byte-range copy, no codec."""
+    source = UPlaneSection.from_samples(0, 0, samples[:106])
+    dest = UPlaneSection.from_samples(
+        0, 0, np.zeros((273, 24), dtype=np.int16)
+    )
+
+    def copy():
+        ctx = ActionContext(PacketCache())
+        return ctx.copy_prbs(source, dest, 0, 100, 106, aligned=True)
+
+    benchmark(copy)
+
+
+def test_misaligned_prb_copy(benchmark, samples):
+    """RU sharing's misaligned path: decompress + move + recompress."""
+    source = UPlaneSection.from_samples(0, 0, samples[:106])
+    dest = UPlaneSection.from_samples(
+        0, 0, np.zeros((273, 24), dtype=np.int16)
+    )
+
+    def copy():
+        ctx = ActionContext(PacketCache())
+        return ctx.copy_prbs(source, dest, 0, 100, 106, aligned=False)
+
+    benchmark(copy)
+
+
+def test_full_packet_roundtrip(benchmark, samples, du_mac=None):
+    """Serialize + parse one full-band U-plane frame (the per-packet
+    overhead every pass-through middlebox pays in this implementation)."""
+    from repro.fronthaul.cplane import Direction
+    from repro.fronthaul.ethernet import MacAddress
+    from repro.fronthaul.packet import make_packet, parse_packet
+    from repro.fronthaul.timing import SymbolTime
+    from repro.fronthaul.uplane import UPlaneMessage
+
+    section = UPlaneSection.from_samples(0, 0, samples)
+    packet = make_packet(
+        MacAddress.from_int(1), MacAddress.from_int(2),
+        UPlaneMessage(direction=Direction.DOWNLINK,
+                      time=SymbolTime(0, 0, 0, 0), sections=[section]),
+    )
+    wire_bytes = packet.pack()
+    benchmark(parse_packet, wire_bytes, N_PRB)

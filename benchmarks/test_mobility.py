@@ -1,0 +1,19 @@
+"""Benchmark: handover-free mobility (Sections 4.1-4.2 motivation).
+
+Not a numbered figure in the paper, but a claim the evaluation leans on:
+"handover-free mobility" is one of dMIMO's listed benefits and the O2
+deployment of Figure 11 implicitly pays handovers the DAS avoids.
+"""
+
+from _harness import report
+
+from repro.eval.mobility import run_mobility
+
+
+def test_mobility(benchmark):
+    result = benchmark.pedantic(run_mobility, rounds=1, iterations=1)
+    report("mobility", result.format())
+    assert result.multi_cell.handovers >= 3  # one per RU boundary lap
+    assert result.das.handovers == 0
+    assert result.dmimo.handovers == 0
+    assert result.multi_cell.interruption_ms_total > 100

@@ -1,0 +1,17 @@
+"""Benchmark: Table 2 — dMIMO vs single-RU MIMO throughput and ranks."""
+
+from _harness import report
+
+from repro.eval.table2 import run_table2
+
+
+def test_table2_dmimo(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    report("table2", result.format())
+    two = result.row("Single RU - 2 antennas")
+    two_d = result.row("Two RUs - 1 antenna each (RANBooster)")
+    four = result.row("Single RU - 4 antennas")
+    four_d = result.row("Two RUs - 2 antennas each (RANBooster)")
+    assert abs(two_d.dl_mbps - two.dl_mbps) < 0.05 * two.dl_mbps
+    assert abs(four_d.dl_mbps - four.dl_mbps) < 0.05 * four.dl_mbps
+    assert (two.rank, two_d.rank, four.rank, four_d.rank) == (2, 2, 4, 4)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Flexible upgrade: swap a DAS middlebox for dMIMO (Section 6.3.2).
+
+Four cheap single-antenna RUs cover a floor.  Phase 1 runs them as a DAS
+(uniform SISO coverage); phase 2 swaps in the dMIMO middlebox — a pure
+software change — turning the same radios into a 4-layer cell and raising
+downlink throughput by 2-3x depending on location (Figure 13).
+
+Run:  python examples/dmimo_upgrade.py
+"""
+
+import numpy as np
+
+from repro.eval.fig13 import ONE_ANTENNA_RU_BUDGET
+from repro.eval.throughput import DeployedCell, UePlacement, evaluate_network
+from repro.phy.channel import ChannelModel
+from repro.phy.geometry import FloorPlan, WalkPath
+from repro.ran.cell import CellConfig
+from repro.ran.ue import UserEquipment
+
+
+def walk_throughput(cell, channel, step_m=3.0):
+    series = []
+    for index, position in enumerate(WalkPath(floor=0).points(step_m)):
+        ue = UserEquipment(f"00101070000{index:03d}", position,
+                           channel=channel)
+        result = evaluate_network(
+            [cell], [UePlacement(ue, cell.name, dl_offered_mbps=2000)]
+        )
+        series.append(result.ue(ue.imsi).dl_mbps)
+    return np.array(series)
+
+
+def main() -> None:
+    plan = FloorPlan()
+    channel = ChannelModel(seed=19)
+    rus = plan.ru_positions(0)
+
+    print("Phase 1: DAS middlebox from vendor A (single SISO cell)")
+    das_cell = DeployedCell(
+        "das",
+        CellConfig(pci=1, n_antennas=1, max_dl_layers=1),
+        list(rus), [1] * 4,
+        mode="das",
+        budget=ONE_ANTENNA_RU_BUDGET,
+    )
+    das = walk_throughput(das_cell, channel)
+    print(f"  floor walk: min {das.min():4.0f}  mean {das.mean():4.0f}  "
+          f"max {das.max():4.0f} Mbps (uniform coverage)")
+
+    print()
+    print("Phase 2: software swap to vendor B's dMIMO middlebox")
+    print("  (same four 1-antenna RUs, no cabling or hardware changes)")
+    dmimo_cell = DeployedCell(
+        "dmimo",
+        CellConfig(pci=2, n_antennas=4, max_dl_layers=4),
+        list(rus), [1] * 4,
+        mode="dmimo",
+        budget=ONE_ANTENNA_RU_BUDGET,
+    )
+    dmimo = walk_throughput(dmimo_cell, channel)
+    print(f"  floor walk: min {dmimo.min():4.0f}  mean {dmimo.mean():4.0f}  "
+          f"max {dmimo.max():4.0f} Mbps")
+
+    factors = dmimo / das
+    print()
+    print(f"Improvement across the floor: {factors.min():.1f}x to "
+          f"{factors.max():.1f}x (mean {factors.mean():.1f}x) — the paper's")
+    print("'factor of 2 or 3, depending on the location' (Figure 13).")
+
+
+if __name__ == "__main__":
+    main()

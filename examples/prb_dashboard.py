@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Real-time PRB utilization monitoring (Section 4.4, Figure 10c).
+
+Ramps offered load on a 100 MHz cell while the PRB monitoring middlebox
+estimates utilization from BFP exponents at sub-millisecond granularity,
+then renders the telemetry timeline as an ASCII dashboard next to the
+scheduler's ground truth — the kind of feed an energy-saving or load-
+balancing application would consume.
+
+Run:  python examples/prb_dashboard.py
+"""
+
+from repro.apps.prb_monitor import TELEMETRY_TOPIC, PrbMonitorMiddlebox
+from repro.fronthaul.cplane import Direction
+from repro.ran.cell import CellConfig
+from repro.ran.du import DistributedUnit
+from repro.ran.ru import RadioUnit, RuConfig
+from repro.ran.traffic import ConstantBitrateFlow
+from repro.sim.network_sim import FronthaulNetwork
+
+RAMP = [(0.0, 20), (150.0, 20), (400.0, 20), (700.0, 20), (100.0, 20)]
+BAR_WIDTH = 40
+
+
+def main() -> None:
+    cell = CellConfig(pci=9, n_antennas=1, max_dl_layers=1)
+    du = DistributedUnit(du_id=1, cell=cell, symbols_per_slot=1, seed=3)
+    ru = RadioUnit(ru_id=1, config=RuConfig(num_prb=cell.num_prb,
+                                            n_antennas=1),
+                   mac=du.ru_mac, du_mac=du.mac)
+    monitor = PrbMonitorMiddlebox(carrier_num_prb=cell.num_prb)
+    du.scheduler.add_ue("ue", dl_layers=4)
+    du.scheduler.update_ue_quality("ue", dl_aggregate_se=16.0, ul_se=3.0)
+
+    # Subscribe to the telemetry feed like a RIC application would.
+    live_samples = []
+    monitor.telemetry.subscribe(
+        TELEMETRY_TOPIC,
+        lambda record: live_samples.append(
+            (record.timestamp_ns, record.payload.utilization)
+        ),
+    )
+
+    network = FronthaulNetwork(middleboxes=[monitor])
+    network.add_du(du)
+    network.add_ru(ru)
+
+    print("PRB utilization dashboard (100 MHz cell, 10 ms per ramp step)")
+    print(f"{'offered':>8}  {'monitor':>8}  {'truth':>6}  timeline")
+    for rate_mbps, n_slots in RAMP:
+        du.flows.clear()
+        if rate_mbps > 0:
+            du.attach_flow("ue", ConstantBitrateFlow(rate_mbps, "dl"),
+                           Direction.DOWNLINK)
+        log_start = len(du.scheduler.mac_log)
+        estimate_start = len(monitor.estimates)
+        network.run(n_slots)
+        window = [
+            e.utilization
+            for e in monitor.estimates[estimate_start:]
+            if e.direction is Direction.DOWNLINK
+        ]
+        dl_logs = [
+            entry.utilization
+            for entry in du.scheduler.mac_log[log_start:]
+            if entry.direction is Direction.DOWNLINK
+        ]
+        truth = sum(dl_logs) / len(dl_logs) if dl_logs else 0.0
+        estimate = sum(window) / max(len(dl_logs), 1)
+        bar = "#" * int(estimate * BAR_WIDTH)
+        print(f"{rate_mbps:7.0f}M  {estimate:8.1%}  {truth:6.1%}  |{bar}")
+
+    print()
+    first, last = live_samples[0][0], live_samples[-1][0]
+    rate = len(live_samples) / ((last - first) / 1e9) if last > first else 0
+    print(f"Telemetry feed: {len(live_samples)} samples, "
+          f"{rate:,.0f} samples/s (sub-millisecond granularity)")
+
+
+if __name__ == "__main__":
+    main()

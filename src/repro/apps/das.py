@@ -1,0 +1,167 @@
+"""The Distributed Antenna System middlebox (Section 4.1, Figure 5a).
+
+Downlink: every C- and U-plane packet from the DU is replicated (A2) and
+forwarded (A1) to all DAS RUs, which therefore transmit the identical
+signal — extending the cell's coverage.
+
+Uplink: the per-RU U-plane packets for a given symbol and antenna port are
+cached (A3) until every RU has reported, then their IQ payloads are
+decompressed, summed element-wise per subcarrier, recompressed (A4), and
+the single merged packet is forwarded to the DU while the rest are
+dropped (A1).  Because one scheduler allocates non-overlapping PRBs to all
+UEs under the DAS, each summed PRB carries at most one UE's data per MIMO
+layer and the combination is interference-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.actions import ActionContext, ExecLocation
+from repro.core.middlebox import Middlebox
+from repro.fronthaul.cplane import Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import FronthaulPacket
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+
+
+class DasMiddlebox(Middlebox):
+    """One DAS group: a single DU fanned out to ``ru_macs``.
+
+    The management interface exposes the RU set, so RUs can be added or
+    removed on-the-fly (Section 3.2's reconfiguration capability).
+    """
+
+    app_name = "das"
+    #: Table 1: the XDP implementation of DAS processes packets in
+    #: userspace (IQ decompression/summing is impractical in eBPF).
+    nominal_xdp_location = ExecLocation.USERSPACE
+
+    def __init__(
+        self,
+        du_mac: MacAddress,
+        ru_macs: Sequence[MacAddress],
+        mac: Optional[MacAddress] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not ru_macs:
+            raise ValueError("a DAS group needs at least one RU")
+        self.du_mac = du_mac
+        self.mac = mac or MacAddress.from_int(0x02_00_00_00_30_01)
+        self.management.declare(
+            "ru_macs",
+            list(ru_macs),
+            validator=lambda value: bool(value),
+        )
+        self.merged_uplink_symbols = 0
+        #: Symbols whose merge never completed before the deadline flush
+        #: (an RU's packet was lost or late — Section 2.2's strict windows).
+        self.missed_merge_deadlines = 0
+
+    @property
+    def ru_macs(self) -> List[MacAddress]:
+        return list(self.management.get("ru_macs"))
+
+    def add_ru(self, ru_mac: MacAddress) -> None:
+        self.management.set("ru_macs", self.ru_macs + [ru_mac])
+
+    # -- handlers ----------------------------------------------------------
+
+    def on_cplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        if packet.eth.src == self.du_mac:
+            self._fan_out(ctx, packet)
+        else:
+            # RUs do not originate C-plane traffic; pass through unknown.
+            ctx.forward(packet)
+
+    def on_uplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        if packet.direction is Direction.DOWNLINK:
+            self._fan_out(ctx, packet)
+            return
+        self._merge_uplink(ctx, packet)
+
+    # -- downlink fan-out -----------------------------------------------------
+
+    def _fan_out(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        """A2 + A1: one copy of the packet per DAS RU."""
+        ru_macs = self.ru_macs
+        copies = ctx.replicate(packet, len(ru_macs) - 1)
+        for target, copy in zip(ru_macs, [packet] + copies):
+            ctx.forward(copy, dst=target, src=self.mac)
+
+    # -- uplink merge -----------------------------------------------------------
+
+    def _merge_uplink(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        """A3 until all RUs reported, then A4 merge + A1 forward."""
+        ru_macs = self.ru_macs
+        key = packet.flow_key()
+        source = packet.eth.src
+        if source not in ru_macs:
+            ctx.forward(packet)  # not part of this DAS group
+            return
+        already = set(self.cache_store_tags(key))
+        if source in already:
+            # Duplicate from the same RU (retransmission); drop.
+            ctx.drop(packet)
+            return
+        occupancy = ctx.cache_put(key, packet, tag=source)
+        if occupancy < len(ru_macs):
+            return
+        cached = ctx.cache_pop_all(key)
+        merged_sections = self._merge_sections(ctx, [p for _, p in cached])
+        merged = UPlaneMessage(
+            direction=Direction.UPLINK,
+            time=packet.time,
+            sections=merged_sections,
+            filter_index=packet.message.filter_index,
+        )
+        out = FronthaulPacket(
+            eth=packet.eth, ecpri=packet.ecpri, message=merged
+        )
+        # The merged packet replaces all cached ones: forward it, the
+        # remaining (len-1) cached packets are implicitly dropped.
+        ctx.forward(out, dst=self.du_mac, src=self.mac)
+        self.merged_uplink_symbols += 1
+
+    def _merge_sections(
+        self, ctx: ActionContext, packets: List[FronthaulPacket]
+    ) -> List[UPlaneSection]:
+        """Merge matching sections across per-RU packets element-wise."""
+        reference: UPlaneMessage = packets[0].message
+        merged: List[UPlaneSection] = []
+        for index, section in enumerate(reference.sections):
+            operands = []
+            for source_packet in packets:
+                message: UPlaneMessage = source_packet.message
+                if index >= len(message.sections):
+                    raise ValueError(
+                        "RU uplink packets disagree on section count"
+                    )
+                operands.append(message.sections[index])
+            merged.append(ctx.merge_iq(operands))
+        return merged
+
+    def cache_store_tags(self, key) -> List:
+        return self.cache.tags(key)
+
+    # -- deadline handling -------------------------------------------------
+
+    def flush_stale(self, before_slot_key) -> int:
+        """Drop cached uplink packets older than a slot boundary.
+
+        Fronthaul messages must arrive within strict receive windows; a
+        merge still waiting once its slot has passed will never complete
+        (some RU's packet was lost).  Returns the number of symbols whose
+        merge was abandoned; the DU simply never receives those symbols,
+        exactly as when packets miss the window on a real fronthaul.
+        """
+        stale = [
+            key
+            for key in self.cache.keys()
+            if key[0].slot_key() < before_slot_key
+        ]
+        for key in stale:
+            self.cache.discard(key)
+        self.missed_merge_deadlines += len(stale)
+        return len(stale)

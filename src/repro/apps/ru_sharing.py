@@ -1,0 +1,422 @@
+"""The RU sharing middlebox (Section 4.3, Appendix A.1, Algorithms 2-3).
+
+Several DUs — typically belonging to different operators — share one RU.
+Downlink, the middlebox multiplexes the DUs' packets into one stream; the
+RU believes a single DU controls it.  Uplink, it demultiplexes the RU's
+full-band packets back to each DU; every DU believes it owns the RU.
+
+Key mechanisms (all from the paper):
+
+- **numPrb widening**: the first C-plane message per symbol/port is
+  rewritten to request the RU's full spectrum, so later DU requests are
+  already satisfied; all C-plane messages are cached to remember which
+  DUs asked (Algorithm 2).
+- **PRB relocation**: each DU's PRBs are copied to their position in the
+  RU's grid.  Aligned grids (Figure 6 left, Appendix A.1.1) move raw
+  compressed bytes; misaligned grids decompress/shift/recompress.
+- **PRACH translation**: C-plane type 3 ``freqOffset`` fields are
+  translated into the RU's spectrum (eq. 11) and sections tagged with the
+  DU id so uplink PRACH data can be demultiplexed (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.actions import ActionContext, ExecLocation
+from repro.core.middlebox import Middlebox
+from repro.fronthaul.compression import CompressionConfig, SAMPLES_PER_PRB
+from repro.fronthaul.cplane import (
+    CPlaneMessage,
+    CPlaneSection,
+    Direction,
+    SectionType,
+)
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import FronthaulPacket
+from repro.fronthaul.prach import translate_freq_offset
+from repro.fronthaul.spectrum import PrbGrid
+from repro.fronthaul.timing import SymbolTime
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+
+
+@dataclass(frozen=True)
+class SharedDuConfig:
+    """One DU sharing the RU: identity plus its slice of the spectrum."""
+
+    du_id: int
+    mac: MacAddress
+    grid: PrbGrid
+
+    def prb_offset_in(self, ru_grid: PrbGrid) -> float:
+        return ru_grid.offset_of(self.grid)
+
+    def is_aligned_with(self, ru_grid: PrbGrid) -> bool:
+        return ru_grid.is_aligned_with(self.grid)
+
+
+class RuSharingMiddlebox(Middlebox):
+    """One shared RU multiplexed among several DUs."""
+
+    app_name = "ru_sharing"
+    #: Table 1: RU sharing's XDP data path runs in userspace (caching and
+    #: PRB relocation are impractical in eBPF).
+    nominal_xdp_location = ExecLocation.USERSPACE
+
+    def __init__(
+        self,
+        ru_mac: MacAddress,
+        ru_grid: PrbGrid,
+        dus: Sequence[SharedDuConfig],
+        compression: CompressionConfig = CompressionConfig(),
+        mac: Optional[MacAddress] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not dus:
+            raise ValueError("RU sharing needs at least one DU")
+        seen = set()
+        for du in dus:
+            if du.du_id in seen:
+                raise ValueError(f"duplicate DU id {du.du_id}")
+            seen.add(du.du_id)
+            if not ru_grid.contains(du.grid):
+                raise ValueError(
+                    f"DU {du.du_id}'s spectrum does not fit in the RU grid"
+                )
+        self.ru_mac = ru_mac
+        self.ru_grid = ru_grid
+        self.dus = {du.mac.to_int(): du for du in dus}
+        self.dus_by_id = {du.du_id: du for du in dus}
+        self.compression = compression
+        self.mac = mac or MacAddress.from_int(0x02_00_00_00_30_03)
+        self.misaligned_copies = 0
+        self.aligned_copies = 0
+        #: C-plane requests: {(direction, slot_key, port): {du_id: message}}.
+        self._cplane: Dict[Tuple, Dict[int, CPlaneMessage]] = {}
+        #: Pending PRACH C-plane sections: {(slot_key, port): {du_id: secs}}.
+        self._prach_cplane: Dict[Tuple, Dict[int, List[CPlaneSection]]] = {}
+        #: Cached DL U-plane packets: {(time, port): {du_id: packet}}.
+        self._dl_uplane: Dict[Tuple, Dict[int, FronthaulPacket]] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _du_for(self, packet: FronthaulPacket) -> Optional[SharedDuConfig]:
+        return self.dus.get(packet.eth.src.to_int())
+
+    def _requesting_dus(
+        self, direction: Direction, slot_key: Tuple, port: int
+    ) -> List[int]:
+        return sorted(self._cplane.get((direction, slot_key, port), {}))
+
+    # -- handlers ------------------------------------------------------------
+
+    def on_cplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        du = self._du_for(packet)
+        if du is None:
+            ctx.forward(packet)
+            return
+        message: CPlaneMessage = packet.message
+        if message.section_type is SectionType.PRACH:
+            self._handle_prach_cplane(ctx, packet, du)
+        else:
+            self._handle_data_cplane(ctx, packet, du)
+
+    def on_uplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        if packet.direction is Direction.DOWNLINK:
+            du = self._du_for(packet)
+            if du is None:
+                ctx.forward(packet)
+                return
+            self._handle_dl_uplane(ctx, packet, du)
+        else:
+            if packet.message.filter_index == 1:
+                self._handle_prach_uplane(ctx, packet)
+            else:
+                self._handle_ul_uplane(ctx, packet)
+
+    # -- Algorithm 2: data C-plane ------------------------------------------------
+
+    def _handle_data_cplane(
+        self, ctx: ActionContext, packet: FronthaulPacket, du: SharedDuConfig
+    ) -> None:
+        message: CPlaneMessage = packet.message
+        key = (message.direction, message.time.slot_key(), packet.eaxc.ru_port)
+        requests = self._cplane.setdefault(key, {})
+        first_for_symbol = not requests
+        ctx.cache_put(key, packet, tag=du.du_id)
+        requests[du.du_id] = message
+        if not first_for_symbol:
+            # A later DU's request is already satisfied by the widened one.
+            ctx.drop(packet)
+            return
+        # First request: widen numPrb to the RU's full spectrum and send.
+        ctx.set_cplane_num_prb(packet, self.ru_grid.num_prb, start_prb=0)
+        ctx.forward(packet, dst=self.ru_mac, src=self.mac)
+
+    # -- Algorithm 2: downlink U-plane ---------------------------------------------
+
+    def _handle_dl_uplane(
+        self, ctx: ActionContext, packet: FronthaulPacket, du: SharedDuConfig
+    ) -> None:
+        time = packet.time
+        port = packet.eaxc.ru_port
+        key = (time, port)
+        pending = self._dl_uplane.setdefault(key, {})
+        ctx.cache_put(key, packet, tag=du.du_id)
+        pending[du.du_id] = packet
+        requesting = self._requesting_dus(
+            Direction.DOWNLINK, time.slot_key(), port
+        )
+        if not requesting or any(du_id not in pending for du_id in requesting):
+            return
+        # All requesting DUs delivered their U-plane for this symbol: mux.
+        merged = self._multiplex_downlink(
+            ctx, time, [pending[du_id] for du_id in requesting]
+        )
+        ctx.forward(merged, dst=self.ru_mac, src=self.mac)
+        del self._dl_uplane[key]
+        self.cache.discard(key)
+
+    def _multiplex_downlink(
+        self,
+        ctx: ActionContext,
+        time: SymbolTime,
+        packets: List[FronthaulPacket],
+    ) -> FronthaulPacket:
+        """Copy every DU's PRBs into one full-band RU U-plane packet."""
+        zero = np.zeros(
+            (self.ru_grid.num_prb, 2 * SAMPLES_PER_PRB), dtype=np.int16
+        )
+        target = UPlaneSection.from_samples(
+            section_id=0, start_prb=0, samples=zero, compression=self.compression
+        )
+        for source_packet in packets:
+            du = self._du_for(source_packet)
+            target = self._relocate_du_to_ru(ctx, source_packet, du, target)
+        message = UPlaneMessage(
+            direction=Direction.DOWNLINK, time=time, sections=[target]
+        )
+        template = packets[0]
+        return FronthaulPacket(
+            eth=template.eth, ecpri=template.ecpri, message=message
+        )
+
+    def _relocate_du_to_ru(
+        self,
+        ctx: ActionContext,
+        packet: FronthaulPacket,
+        du: SharedDuConfig,
+        target: UPlaneSection,
+    ) -> UPlaneSection:
+        offset = du.prb_offset_in(self.ru_grid)
+        for section in packet.message.sections:
+            if du.is_aligned_with(self.ru_grid):
+                self.aligned_copies += 1
+                target = ctx.copy_prbs(
+                    source=section,
+                    destination=target,
+                    source_start_prb=section.start_prb,
+                    dest_start_prb=int(round(offset)) + section.start_prb,
+                    num_prb=section.num_prb,
+                    aligned=True,
+                )
+            else:
+                self.misaligned_copies += 1
+                target = self._copy_subcarriers(
+                    ctx, section, target, offset
+                )
+        return target
+
+    def _copy_subcarriers(
+        self,
+        ctx: ActionContext,
+        source: UPlaneSection,
+        target: UPlaneSection,
+        prb_offset: float,
+    ) -> UPlaneSection:
+        """Misaligned relocation: decompress, shift at subcarrier
+        granularity, recompress (the Figure 6 right-hand case)."""
+        sc_offset = int(round(prb_offset * SAMPLES_PER_PRB))
+        src_samples = ctx.decompress(source)  # (n, 24) int16
+        dst_samples = ctx.decompress(target).copy()
+        src_flat = src_samples.reshape(-1, 2)  # (n*12, 2) per subcarrier
+        dst_flat = dst_samples.reshape(-1, 2)
+        start = (source.start_prb * SAMPLES_PER_PRB) + sc_offset
+        dst_flat[start : start + len(src_flat)] = src_flat
+        return ctx.compress(target, dst_flat.reshape(dst_samples.shape))
+
+    # -- Algorithm 2: uplink U-plane ----------------------------------------------
+
+    def _handle_ul_uplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        """Demultiplex a full-band RU uplink packet to each requesting DU."""
+        time = packet.time
+        port = packet.eaxc.ru_port
+        slot_key = time.slot_key()
+        requesting = self._requesting_dus(Direction.UPLINK, slot_key, port)
+        if not requesting:
+            ctx.drop(packet)
+            return
+        copies = ctx.replicate(packet, len(requesting) - 1)
+        all_packets = [packet] + copies
+        for du_id, out_packet in zip(requesting, all_packets):
+            du = self.dus_by_id[du_id]
+            extracted = self._extract_du_from_ru(ctx, out_packet, du)
+            ctx.forward(extracted, dst=du.mac, src=self.mac)
+
+    def _extract_du_from_ru(
+        self,
+        ctx: ActionContext,
+        packet: FronthaulPacket,
+        du: SharedDuConfig,
+    ) -> FronthaulPacket:
+        offset = du.prb_offset_in(self.ru_grid)
+        sections_out: List[UPlaneSection] = []
+        for section in packet.message.sections:
+            if du.is_aligned_with(self.ru_grid):
+                self.aligned_copies += 1
+                zero = np.zeros(
+                    (du.grid.num_prb, 2 * SAMPLES_PER_PRB), dtype=np.int16
+                )
+                target = UPlaneSection.from_samples(
+                    section_id=du.du_id,
+                    start_prb=0,
+                    samples=zero,
+                    compression=section.compression,
+                )
+                sections_out.append(
+                    ctx.copy_prbs(
+                        source=section,
+                        destination=target,
+                        source_start_prb=int(round(offset)),
+                        dest_start_prb=0,
+                        num_prb=du.grid.num_prb,
+                        aligned=True,
+                    )
+                )
+            else:
+                self.misaligned_copies += 1
+                samples = ctx.decompress(section)
+                flat = samples.reshape(-1, 2)
+                sc_offset = int(round(offset * SAMPLES_PER_PRB))
+                du_sc = du.grid.num_prb * SAMPLES_PER_PRB
+                block = flat[sc_offset : sc_offset + du_sc]
+                du_samples = block.reshape(du.grid.num_prb, 2 * SAMPLES_PER_PRB)
+                zero_section = UPlaneSection.from_samples(
+                    section_id=du.du_id,
+                    start_prb=0,
+                    samples=np.ascontiguousarray(du_samples),
+                    compression=section.compression,
+                )
+                sections_out.append(zero_section)
+        message = UPlaneMessage(
+            direction=Direction.UPLINK,
+            time=packet.time,
+            sections=sections_out,
+            filter_index=packet.message.filter_index,
+        )
+        return FronthaulPacket(
+            eth=packet.eth, ecpri=packet.ecpri, message=message
+        )
+
+    # -- Algorithm 3: PRACH ----------------------------------------------------------
+
+    def _handle_prach_cplane(
+        self, ctx: ActionContext, packet: FronthaulPacket, du: SharedDuConfig
+    ) -> None:
+        message: CPlaneMessage = packet.message
+        key = (message.time.slot_key(), packet.eaxc.ru_port)
+        pending = self._prach_cplane.setdefault(key, {})
+        # Translate each section's freqOffset into the RU spectrum and tag
+        # it with the DU id (Algorithm 3 lines 6-7).
+        translated: List[CPlaneSection] = []
+        for section in message.sections:
+            new_offset = translate_freq_offset(
+                section.freq_offset,
+                du.grid.center_frequency_hz,
+                self.ru_grid.center_frequency_hz,
+                self.ru_grid.scs_hz,
+            )
+            ctx.set_section_fields(packet)  # cost accounting for the rewrite
+            translated.append(
+                CPlaneSection(
+                    section_id=du.du_id,
+                    start_prb=section.start_prb,
+                    num_prb=section.num_prb,
+                    num_symbols=section.num_symbols,
+                    freq_offset=new_offset,
+                )
+            )
+        ctx.cache_put(key, packet, tag=du.du_id)
+        pending[du.du_id] = translated
+        if len(pending) < len(self.dus_by_id):
+            return
+        # All DUs' PRACH requests arrived: append sections into one packet.
+        sections = [
+            section
+            for du_id in sorted(pending)
+            for section in pending[du_id]
+        ]
+        combined = CPlaneMessage(
+            direction=Direction.UPLINK,
+            time=message.time,
+            sections=sections,
+            section_type=SectionType.PRACH,
+            compression=message.compression,
+            filter_index=message.filter_index,
+            time_offset=message.time_offset,
+            frame_structure=message.frame_structure,
+            cp_length=message.cp_length,
+        )
+        out = FronthaulPacket(
+            eth=packet.eth, ecpri=packet.ecpri, message=combined
+        )
+        ctx.forward(out, dst=self.ru_mac, src=self.mac)
+        del self._prach_cplane[key]
+
+    def _handle_prach_uplane(
+        self, ctx: ActionContext, packet: FronthaulPacket
+    ) -> None:
+        """Demultiplex PRACH U-plane sections to DUs by section id."""
+        by_du: Dict[int, List[UPlaneSection]] = {}
+        for section in packet.message.sections:
+            if section.section_id in self.dus_by_id:
+                by_du.setdefault(section.section_id, []).append(section)
+        if not by_du:
+            ctx.drop(packet)
+            return
+        du_ids = sorted(by_du)
+        copies = ctx.replicate(packet, len(du_ids) - 1)
+        for du_id, out_packet in zip(du_ids, [packet] + copies):
+            du = self.dus_by_id[du_id]
+            message = UPlaneMessage(
+                direction=Direction.UPLINK,
+                time=packet.time,
+                sections=by_du[du_id],
+                filter_index=1,
+            )
+            out = FronthaulPacket(
+                eth=out_packet.eth, ecpri=out_packet.ecpri, message=message
+            )
+            ctx.forward(out, dst=du.mac, src=self.mac)
+
+    # -- housekeeping ------------------------------------------------------------------
+
+    def flush_slots_before(self, slot_key: Tuple) -> None:
+        """Drop cached state older than a slot (bounded memory)."""
+        self._cplane = {
+            key: value for key, value in self._cplane.items() if key[1] >= slot_key
+        }
+        self._prach_cplane = {
+            key: value
+            for key, value in self._prach_cplane.items()
+            if key[0] >= slot_key
+        }
+        self._dl_uplane = {
+            key: value
+            for key, value in self._dl_uplane.items()
+            if key[0].slot_key() >= slot_key
+        }

@@ -1,0 +1,358 @@
+"""The four RANBooster processing actions (Section 3.2.1).
+
+- **A1 packet redirection and drop** -- steering packets to a different
+  DU or RU by rewriting Ethernet addresses / VLAN ids, or dropping them.
+- **A2 packet replication** -- cloning a packet towards several
+  destinations.
+- **A3 packet caching** -- storing packets keyed by (time, direction,
+  port) to combine with later arrivals.
+- **A4 payload inspection and modification** -- reading/rewriting O-RAN
+  header fields and raw IQ samples.
+
+Every action invocation is recorded in an :class:`ActionTrace` with its
+modelled cost and execution-location capability, which the datapath models
+(Figures 15-16) consume.  The A4 helpers do the *real* work on real packet
+bytes -- BFP decompression, element-wise IQ summing, PRB relocation -- so
+middlebox correctness is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
+from repro.fronthaul.compression import BfpCompressor
+from repro.fronthaul.cplane import CPlaneMessage
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import FronthaulPacket
+from repro.fronthaul.uplane import UPlaneSection
+
+
+class ActionKind(enum.Enum):
+    ROUTE = "A1.route"
+    DROP = "A1.drop"
+    REPLICATE = "A2.replicate"
+    CACHE_PUT = "A3.cache_put"
+    CACHE_GET = "A3.cache_get"
+    INSPECT = "A4.inspect"
+    HEADER_MODIFY = "A4.header_modify"
+    READ_EXPONENTS = "A4.read_exponents"
+    DECOMPRESS = "A4.decompress"
+    COMPRESS = "A4.compress"
+    IQ_MERGE = "A4.iq_merge"
+    PRB_COPY = "A4.prb_copy"
+
+
+class ExecLocation(enum.Enum):
+    """Where an action can run in the XDP datapath (Section 5).
+
+    Redirection, drops and simple header work run in the kernel XDP
+    program; caching, replication and IQ modification are inefficient in
+    eBPF and go to the userspace component over AF_XDP.
+    """
+
+    KERNEL = "kernel"
+    USERSPACE = "userspace"
+
+
+#: Capability map: the cheapest location each action kind can run at.
+ACTION_LOCATION: Dict[ActionKind, ExecLocation] = {
+    ActionKind.ROUTE: ExecLocation.KERNEL,
+    ActionKind.DROP: ExecLocation.KERNEL,
+    ActionKind.REPLICATE: ExecLocation.USERSPACE,
+    ActionKind.CACHE_PUT: ExecLocation.USERSPACE,
+    ActionKind.CACHE_GET: ExecLocation.USERSPACE,
+    ActionKind.INSPECT: ExecLocation.KERNEL,
+    ActionKind.HEADER_MODIFY: ExecLocation.KERNEL,
+    ActionKind.READ_EXPONENTS: ExecLocation.KERNEL,
+    ActionKind.DECOMPRESS: ExecLocation.USERSPACE,
+    ActionKind.COMPRESS: ExecLocation.USERSPACE,
+    ActionKind.IQ_MERGE: ExecLocation.USERSPACE,
+    ActionKind.PRB_COPY: ExecLocation.USERSPACE,
+}
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One recorded action invocation."""
+
+    kind: ActionKind
+    cost_ns: float
+    location: ExecLocation
+
+
+@dataclass
+class ActionTrace:
+    """Per-packet record of the actions applied to it."""
+
+    events: List[ActionEvent] = field(default_factory=list)
+
+    def record(self, kind: ActionKind, cost_ns: float) -> None:
+        self.events.append(ActionEvent(kind, cost_ns, ACTION_LOCATION[kind]))
+
+    def total_ns(self) -> float:
+        return sum(event.cost_ns for event in self.events)
+
+    def needs_userspace(self) -> bool:
+        return any(e.location is ExecLocation.USERSPACE for e in self.events)
+
+    def kinds(self) -> List[ActionKind]:
+        return [event.kind for event in self.events]
+
+
+class PacketCache:
+    """Action A3: packets stored by key until their peers arrive.
+
+    Keys are typically ``(time, direction, ru_port)`` flow keys; the DAS
+    middlebox caches per-RU uplink packets until all RUs reported, and the
+    RU-sharing middlebox caches per-DU C-plane requests.
+    """
+
+    def __init__(self):
+        self._store: Dict[Hashable, List[Tuple[Hashable, FronthaulPacket]]] = (
+            defaultdict(list)
+        )
+
+    def put(self, key: Hashable, packet: FronthaulPacket, tag: Hashable = None) -> int:
+        """Store a packet under ``key``; returns the new occupancy."""
+        self._store[key].append((tag, packet))
+        return len(self._store[key])
+
+    def occupancy(self, key: Hashable) -> int:
+        return len(self._store.get(key, ()))
+
+    def peek(self, key: Hashable) -> List[Tuple[Hashable, FronthaulPacket]]:
+        return list(self._store.get(key, ()))
+
+    def tags(self, key: Hashable) -> List[Hashable]:
+        return [tag for tag, _ in self._store.get(key, ())]
+
+    def pop_all(self, key: Hashable) -> List[Tuple[Hashable, FronthaulPacket]]:
+        return self._store.pop(key, [])
+
+    def discard(self, key: Hashable) -> None:
+        self._store.pop(key, None)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._store)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._store.values())
+
+
+@dataclass
+class Emission:
+    """A packet leaving the middlebox (after A1 resolution)."""
+
+    packet: FronthaulPacket
+
+
+class ActionContext:
+    """The per-packet action API handed to middlebox handlers.
+
+    Collects emissions and records an :class:`ActionTrace`.  Handlers call
+    these methods instead of mutating packets ad hoc, which is what makes
+    the latency/datapath accounting of Figures 15-16 possible.
+    """
+
+    def __init__(
+        self,
+        cache: PacketCache,
+        cost_model: ActionCostModel = DEFAULT_COST_MODEL,
+    ):
+        self.cache_store = cache
+        self.cost = cost_model
+        self.trace = ActionTrace()
+        self.emissions: List[Emission] = []
+
+    # -- A1: redirection and drop -------------------------------------------
+
+    def forward(
+        self,
+        packet: FronthaulPacket,
+        dst: Optional[MacAddress] = None,
+        src: Optional[MacAddress] = None,
+    ) -> None:
+        """Send a packet out, optionally rewriting its MAC addresses."""
+        if dst is not None:
+            packet.eth.dst = dst
+        if src is not None:
+            packet.eth.src = src
+        self.trace.record(ActionKind.ROUTE, self.cost.forward_ns)
+        self.emissions.append(Emission(packet))
+
+    def drop(self, packet: FronthaulPacket) -> None:
+        self.trace.record(ActionKind.DROP, self.cost.drop_ns)
+
+    # -- A2: replication -------------------------------------------------------
+
+    def replicate(self, packet: FronthaulPacket, copies: int) -> List[FronthaulPacket]:
+        """Clone a packet ``copies`` times (the original stays usable)."""
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        self.trace.record(
+            ActionKind.REPLICATE, self.cost.replicate_ns_per_copy * copies
+        )
+        return [packet.clone() for _ in range(copies)]
+
+    # -- A3: caching ------------------------------------------------------------
+
+    def cache_put(
+        self, key: Hashable, packet: FronthaulPacket, tag: Hashable = None
+    ) -> int:
+        self.trace.record(ActionKind.CACHE_PUT, self.cost.cache_ns)
+        return self.cache_store.put(key, packet, tag)
+
+    def cache_pop_all(
+        self, key: Hashable
+    ) -> List[Tuple[Hashable, FronthaulPacket]]:
+        self.trace.record(ActionKind.CACHE_GET, self.cost.cache_lookup_ns)
+        return self.cache_store.pop_all(key)
+
+    def cache_peek(
+        self, key: Hashable
+    ) -> List[Tuple[Hashable, FronthaulPacket]]:
+        self.trace.record(ActionKind.CACHE_GET, self.cost.cache_lookup_ns)
+        return self.cache_store.peek(key)
+
+    # -- A4: inspection and modification ----------------------------------------
+
+    def inspect(self, packet: FronthaulPacket) -> FronthaulPacket:
+        """Read-only access to header fields (cost-tagged)."""
+        self.trace.record(ActionKind.INSPECT, self.cost.inspect_ns)
+        return packet
+
+    def set_ru_port(self, packet: FronthaulPacket, ru_port: int) -> None:
+        """Remap the eAxC RU-port id (the dMIMO antenna remap)."""
+        packet.ecpri.eaxc = packet.ecpri.eaxc.with_ru_port(ru_port)
+        self.trace.record(ActionKind.HEADER_MODIFY, self.cost.header_modify_ns)
+
+    def set_cplane_num_prb(
+        self, packet: FronthaulPacket, num_prb: int, start_prb: int = 0
+    ) -> None:
+        """Widen a C-plane request to ``num_prb`` PRBs (RU sharing)."""
+        if not packet.is_cplane:
+            raise ValueError("numPrb widening applies to C-plane packets")
+        message: CPlaneMessage = packet.message
+        for section in message.sections:
+            section.start_prb = start_prb
+            section.num_prb = num_prb
+        self.trace.record(ActionKind.HEADER_MODIFY, self.cost.header_modify_ns)
+
+    def set_section_fields(self, packet: FronthaulPacket, **fields) -> None:
+        """Rewrite arbitrary section fields (freqOffset, sectionId, ...)."""
+        for section in packet.message.sections:
+            for name, value in fields.items():
+                if not hasattr(section, name):
+                    raise AttributeError(f"section has no field {name!r}")
+                setattr(section, name, value)
+        self.trace.record(ActionKind.HEADER_MODIFY, self.cost.header_modify_ns)
+
+    def read_exponents(self, section: UPlaneSection) -> np.ndarray:
+        """Per-PRB BFP exponents without decompressing (Algorithm 1)."""
+        self.trace.record(
+            ActionKind.READ_EXPONENTS,
+            self.cost.exponent_read_ns_per_prb * section.num_prb,
+        )
+        return section.exponents()
+
+    def decompress(self, section: UPlaneSection) -> np.ndarray:
+        self.trace.record(
+            ActionKind.DECOMPRESS, self.cost.decompress_cost(section.num_prb)
+        )
+        return section.iq_samples()
+
+    def compress(self, section: UPlaneSection, samples: np.ndarray) -> UPlaneSection:
+        self.trace.record(
+            ActionKind.COMPRESS, self.cost.compress_cost(section.num_prb)
+        )
+        return section.replace_payload(samples)
+
+    def merge_iq(self, sections: Sequence[UPlaneSection]) -> UPlaneSection:
+        """Element-wise sum of the IQ samples of aligned sections.
+
+        The DAS uplink combine (Section 4.1): decompress every operand,
+        sum per subcarrier with saturation, recompress into a new section.
+        """
+        if not sections:
+            raise ValueError("nothing to merge")
+        first = sections[0]
+        for section in sections[1:]:
+            if section.prb_range != first.prb_range:
+                raise ValueError(
+                    f"cannot merge misaligned sections {section.prb_range} "
+                    f"vs {first.prb_range}"
+                )
+        compressor = BfpCompressor(first.compression)
+        total = np.zeros((first.num_prb, 24), dtype=np.int64)
+        for section in sections:
+            total += compressor.decompress(section.payload, section.num_prb)
+        merged = np.clip(total, -32768, 32767).astype(np.int16)
+        self.trace.record(
+            ActionKind.IQ_MERGE,
+            self.cost.merge_cost(first.num_prb, len(sections)),
+        )
+        return UPlaneSection.from_samples(
+            section_id=first.section_id,
+            start_prb=first.start_prb,
+            samples=merged,
+            compression=first.compression,
+        )
+
+    def copy_prbs(
+        self,
+        source: UPlaneSection,
+        destination: UPlaneSection,
+        source_start_prb: int,
+        dest_start_prb: int,
+        num_prb: int,
+        aligned: bool = True,
+    ) -> UPlaneSection:
+        """Relocate PRBs between sections (RU-sharing mux/demux).
+
+        Aligned grids move the raw compressed bytes (exponent included);
+        misaligned grids must decompress, shift, and recompress
+        (Section 4.3, Figure 6).
+        """
+        self.trace.record(
+            ActionKind.PRB_COPY, self.cost.prb_copy_cost(num_prb, aligned)
+        )
+        if aligned:
+            prb_bytes = source.compression.prb_payload_bytes()
+            if destination.compression != source.compression:
+                raise ValueError("aligned copy requires identical compression")
+            src_index = source_start_prb - source.start_prb
+            dst_index = dest_start_prb - destination.start_prb
+            if not (0 <= src_index and src_index + num_prb <= source.num_prb):
+                raise ValueError("source PRB range out of bounds")
+            if not (
+                0 <= dst_index and dst_index + num_prb <= destination.num_prb
+            ):
+                raise ValueError("destination PRB range out of bounds")
+            payload = bytearray(destination.payload)
+            payload[
+                dst_index * prb_bytes : (dst_index + num_prb) * prb_bytes
+            ] = source.payload[
+                src_index * prb_bytes : (src_index + num_prb) * prb_bytes
+            ]
+            return UPlaneSection(
+                section_id=destination.section_id,
+                start_prb=destination.start_prb,
+                num_prb=destination.num_prb,
+                payload=bytes(payload),
+                compression=destination.compression,
+            )
+        # Misaligned: full decompress of both, sample-level move, recompress.
+        src_samples = self.decompress(source)
+        dst_samples = self.decompress(destination).copy()
+        src_index = source_start_prb - source.start_prb
+        dst_index = dest_start_prb - destination.start_prb
+        dst_samples[dst_index : dst_index + num_prb] = src_samples[
+            src_index : src_index + num_prb
+        ]
+        return self.compress(destination, dst_samples)

@@ -1,0 +1,158 @@
+"""Middlebox deployment and chaining (Section 5, Figure 8).
+
+A :class:`FronthaulSwitch` models the SR-IOV embedded switch of the NIC:
+endpoints (DUs, RUs) and middlebox virtual functions attach to ports, and
+frames are delivered by destination MAC.  A :class:`MiddleboxChain` runs
+packets through an ordered sequence of middleboxes — the RU-sharing ⊕ DAS
+composition of Figure 12 is exactly ``MiddleboxChain([sharing, das])``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.middlebox import Middlebox
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import FronthaulPacket
+
+
+class PortRole(enum.Enum):
+    DU = "du"
+    RU = "ru"
+    MIDDLEBOX = "middlebox"
+
+
+@dataclass
+class SwitchPort:
+    """One port of the embedded switch (a VF or a physical endpoint)."""
+
+    name: str
+    role: PortRole
+    macs: Tuple[MacAddress, ...]
+    deliver: Callable[[FronthaulPacket], None]
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+
+
+class SwitchLoopError(Exception):
+    """A frame traversed more hops than the switch allows (loop guard)."""
+
+
+class FronthaulSwitch:
+    """MAC-learning-free switch: delivery strictly by registered MACs.
+
+    Middleboxes are *bumps in the wire*: a middlebox port can be
+    interposed on specific MACs so that frames towards those MACs are
+    handed to the middlebox instead of the endpoint; the middlebox's
+    emissions re-enter the switch (the SR-IOV hairpin of Figure 8).
+    """
+
+    MAX_HOPS = 16
+
+    def __init__(self):
+        self._ports: Dict[str, SwitchPort] = {}
+        self._mac_table: Dict[int, str] = {}
+        self._interpositions: Dict[int, List[str]] = {}
+
+    def attach(
+        self,
+        name: str,
+        role: PortRole,
+        macs: Sequence[MacAddress],
+        deliver: Callable[[FronthaulPacket], None],
+    ) -> SwitchPort:
+        if name in self._ports:
+            raise ValueError(f"port {name!r} already attached")
+        port = SwitchPort(name=name, role=role, macs=tuple(macs), deliver=deliver)
+        self._ports[name] = port
+        for mac in macs:
+            self._mac_table[mac.to_int()] = name
+        return port
+
+    def interpose(self, middlebox_port: str, macs: Sequence[MacAddress]) -> None:
+        """Steer frames addressed to ``macs`` through a middlebox port.
+
+        Multiple interpositions on the same MAC form a chain: frames pass
+        through them in registration order before reaching the endpoint.
+        """
+        if middlebox_port not in self._ports:
+            raise KeyError(f"unknown port {middlebox_port!r}")
+        for mac in macs:
+            chain = self._interpositions.setdefault(mac.to_int(), [])
+            if middlebox_port in chain:
+                raise ValueError(
+                    f"port {middlebox_port!r} already interposed on {mac}"
+                )
+            chain.append(middlebox_port)
+
+    def inject(
+        self,
+        packet: FronthaulPacket,
+        from_port: str,
+        _hops: int = 0,
+        _chain_index: Optional[int] = None,
+    ) -> None:
+        """Switch a frame: deliver to the next interposed middlebox or the
+        endpoint owning the destination MAC."""
+        if _hops > self.MAX_HOPS:
+            raise SwitchLoopError(f"frame exceeded {self.MAX_HOPS} hops")
+        dst = packet.eth.dst.to_int()
+        chain = self._interpositions.get(dst, [])
+        position = 0 if _chain_index is None else _chain_index
+        # Find the next middlebox in the chain after the sender.
+        if from_port in chain:
+            position = chain.index(from_port) + 1
+        if position < len(chain) and chain[position] != from_port:
+            target = self._ports[chain[position]]
+        else:
+            owner = self._mac_table.get(dst)
+            if owner is None:
+                return  # unknown MAC: flood suppressed, frame dies
+            target = self._ports[owner]
+            if target.name == from_port:
+                return
+        size = packet.wire_size
+        self._ports[from_port].tx_bytes += size
+        target.rx_bytes += size
+        target.deliver(packet)
+
+    def port(self, name: str) -> SwitchPort:
+        return self._ports[name]
+
+    def ports(self) -> List[SwitchPort]:
+        return list(self._ports.values())
+
+
+class MiddleboxChain:
+    """An ordered composition of middleboxes (service chaining).
+
+    ``process_downlink`` pushes packets through boxes in order (towards
+    the RUs); ``process_uplink`` through the reverse order (towards the
+    DUs), matching Figure 8's bidirectional chain over one NIC.
+    """
+
+    def __init__(self, middleboxes: Sequence[Middlebox]):
+        if not middleboxes:
+            raise ValueError("a chain needs at least one middlebox")
+        self.middleboxes = list(middleboxes)
+
+    def process_downlink(
+        self, packets: List[FronthaulPacket]
+    ) -> List[FronthaulPacket]:
+        current = list(packets)
+        for middlebox in self.middleboxes:
+            current = middlebox.process_burst(current)
+        return current
+
+    def process_uplink(
+        self, packets: List[FronthaulPacket]
+    ) -> List[FronthaulPacket]:
+        current = list(packets)
+        for middlebox in reversed(self.middleboxes):
+            current = middlebox.process_burst(current)
+        return current
+
+    def total_processing_ns(self) -> float:
+        return sum(m.stats.processing_ns_total for m in self.middleboxes)

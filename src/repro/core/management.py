@@ -1,0 +1,90 @@
+"""Management interface: on-the-fly middlebox reconfiguration.
+
+Middleboxes "expose monitoring and management interfaces to modify their
+behavior on-the-fly (e.g., apply forwarding rules)" (Section 3.2).  The
+interface is a typed key/value store with validation callbacks plus a
+forwarding-rule table, so experiments can retarget a running middlebox
+(e.g. add an RU to a DAS group) without reconstructing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fronthaul.ethernet import MacAddress
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """Steer packets matching a destination MAC to a new destination."""
+
+    match_dst: MacAddress
+    new_dst: MacAddress
+    enabled: bool = True
+
+
+class ValidationError(Exception):
+    """A management update was rejected by the middlebox's validator."""
+
+
+class ManagementInterface:
+    """Runtime configuration endpoint of one middlebox."""
+
+    def __init__(self, owner: str = ""):
+        self.owner = owner
+        self._values: Dict[str, Any] = {}
+        self._validators: Dict[str, Callable[[Any], bool]] = {}
+        self._rules: List[ForwardingRule] = []
+        self._listeners: List[Callable[[str, Any], None]] = []
+
+    def declare(
+        self,
+        key: str,
+        default: Any,
+        validator: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        """Register a configurable knob with an optional validator."""
+        self._values[key] = default
+        if validator is not None:
+            self._validators[key] = validator
+
+    def get(self, key: str) -> Any:
+        if key not in self._values:
+            raise KeyError(f"unknown management key {key!r}")
+        return self._values[key]
+
+    def set(self, key: str, value: Any) -> None:
+        if key not in self._values:
+            raise KeyError(f"unknown management key {key!r}")
+        validator = self._validators.get(key)
+        if validator is not None and not validator(value):
+            raise ValidationError(f"value {value!r} rejected for key {key!r}")
+        self._values[key] = value
+        for listener in self._listeners:
+            listener(key, value)
+
+    def on_change(self, listener: Callable[[str, Any], None]) -> None:
+        self._listeners.append(listener)
+
+    def keys(self) -> List[str]:
+        return sorted(self._values)
+
+    # -- forwarding rules -----------------------------------------------------
+
+    def add_rule(self, rule: ForwardingRule) -> None:
+        self._rules.append(rule)
+
+    def clear_rules(self) -> None:
+        self._rules.clear()
+
+    def resolve(self, dst: MacAddress) -> MacAddress:
+        """Apply the first matching enabled rule (identity if none)."""
+        for rule in self._rules:
+            if rule.enabled and rule.match_dst == dst:
+                return rule.new_dst
+        return dst
+
+    @property
+    def rules(self) -> List[ForwardingRule]:
+        return list(self._rules)

@@ -1,0 +1,136 @@
+"""The templated middlebox design (Section 3.2.2).
+
+Developers subclass :class:`Middlebox` and implement ``on_cplane`` /
+``on_uplane`` handlers using the :class:`~repro.core.actions.ActionContext`
+API.  The base class supplies everything else: the packet cache, telemetry
+and management interfaces, statistics, and the per-packet action traces
+the datapath models consume.  All four reference applications of the paper
+(and this repo) are built from this one template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.actions import (
+    ActionContext,
+    ActionTrace,
+    Emission,
+    PacketCache,
+)
+from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
+from repro.core.management import ManagementInterface
+from repro.core.telemetry import TelemetryBus
+from repro.fronthaul.cplane import Direction
+from repro.fronthaul.packet import FronthaulPacket
+
+
+@dataclass
+class MiddleboxStats:
+    """Counters every middlebox maintains."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    dropped_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    processing_ns_total: float = 0.0
+
+    def account_tx(self, emissions: List[Emission]) -> None:
+        self.tx_packets += len(emissions)
+        self.tx_bytes += sum(e.packet.wire_size for e in emissions)
+
+
+@dataclass
+class ProcessedPacket:
+    """Result of running one packet through a middlebox."""
+
+    emissions: List[Emission]
+    trace: ActionTrace
+    traffic_class: str = "other"
+
+
+class Middlebox:
+    """Base class of all RANBooster middleboxes.
+
+    Subclasses implement :meth:`on_cplane` and :meth:`on_uplane`; the
+    default for both is transparent forwarding, so an empty subclass is a
+    valid (pass-through) middlebox.  ``carrier_num_prb`` gives handlers
+    the context to resolve ``numPrb=0`` wire encodings.
+    """
+
+    #: Human-readable application name (overridden by subclasses).
+    app_name = "passthrough"
+
+    def __init__(
+        self,
+        name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
+        cost_model: ActionCostModel = DEFAULT_COST_MODEL,
+    ):
+        self.name = name or self.app_name
+        self.telemetry = telemetry or TelemetryBus()
+        self.cost_model = cost_model
+        self.cache = PacketCache()
+        self.management = ManagementInterface(owner=self.name)
+        self.stats = MiddleboxStats()
+        self.traces: List[ActionTrace] = []
+        #: Wire size (bytes) of the packet behind each entry of ``traces``.
+        self.trace_wire_bytes: List[int] = []
+        #: Per-traffic-class traces for the Figure 15b breakdown.
+        self.traces_by_class: Dict[str, List[ActionTrace]] = {}
+
+    # -- handler hooks ---------------------------------------------------------
+
+    def on_cplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        ctx.forward(packet)
+
+    def on_uplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
+        ctx.forward(packet)
+
+    # -- engine ------------------------------------------------------------------
+
+    def process(self, packet: FronthaulPacket) -> ProcessedPacket:
+        """Run one packet through the handler; returns emissions + trace."""
+        wire_bytes = packet.wire_size
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += wire_bytes
+        ctx = ActionContext(self.cache, self.cost_model)
+        if packet.is_cplane:
+            self.on_cplane(ctx, packet)
+        else:
+            self.on_uplane(ctx, packet)
+        if not ctx.emissions:
+            self.stats.dropped_packets += 1
+        self.stats.account_tx(ctx.emissions)
+        self.stats.processing_ns_total += ctx.trace.total_ns()
+        traffic_class = classify(packet)
+        self.traces.append(ctx.trace)
+        self.trace_wire_bytes.append(wire_bytes)
+        self.traces_by_class.setdefault(traffic_class, []).append(ctx.trace)
+        return ProcessedPacket(
+            emissions=ctx.emissions, trace=ctx.trace, traffic_class=traffic_class
+        )
+
+    def process_burst(
+        self, packets: List[FronthaulPacket]
+    ) -> List[FronthaulPacket]:
+        """Convenience: process packets in order, return all emissions."""
+        out: List[FronthaulPacket] = []
+        for packet in packets:
+            out.extend(e.packet for e in self.process(packet).emissions)
+        return out
+
+    def reset_traces(self) -> None:
+        self.traces.clear()
+        self.trace_wire_bytes.clear()
+        self.traces_by_class.clear()
+        self.stats.processing_ns_total = 0.0
+
+
+def classify(packet: FronthaulPacket) -> str:
+    """Traffic class labels used by Figure 15b."""
+    plane = "C-Plane" if packet.is_cplane else "U-Plane"
+    direction = "DL" if packet.direction is Direction.DOWNLINK else "UL"
+    return f"{direction} {plane}"

@@ -1,0 +1,66 @@
+"""Telemetry: the monitoring interface middleboxes expose.
+
+RANBooster middleboxes "expose monitoring and management interfaces ... to
+send telemetry data to applications" (Section 3.2).  The bus is a simple
+in-process pub/sub with retained history, which the PRB monitoring
+middlebox publishes its utilization bitvectors to, and which experiment
+harnesses subscribe to.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One published sample: topic, logical timestamp, payload."""
+
+    topic: str
+    timestamp_ns: float
+    payload: Any
+    source: str = ""
+
+
+class TelemetryBus:
+    """In-process pub/sub with per-topic retained history."""
+
+    def __init__(self, history_limit: int = 100_000):
+        self._subscribers: Dict[str, List[Callable[[TelemetryRecord], None]]] = (
+            defaultdict(list)
+        )
+        self._history: Dict[str, List[TelemetryRecord]] = defaultdict(list)
+        self._history_limit = history_limit
+
+    def publish(
+        self, topic: str, payload: Any, timestamp_ns: float = 0.0, source: str = ""
+    ) -> TelemetryRecord:
+        record = TelemetryRecord(
+            topic=topic, timestamp_ns=timestamp_ns, payload=payload, source=source
+        )
+        history = self._history[topic]
+        history.append(record)
+        if len(history) > self._history_limit:
+            del history[: len(history) - self._history_limit]
+        for callback in self._subscribers[topic]:
+            callback(record)
+        return record
+
+    def subscribe(
+        self, topic: str, callback: Callable[[TelemetryRecord], None]
+    ) -> None:
+        self._subscribers[topic].append(callback)
+
+    def history(self, topic: str) -> List[TelemetryRecord]:
+        return list(self._history[topic])
+
+    def latest(self, topic: str) -> TelemetryRecord:
+        history = self._history[topic]
+        if not history:
+            raise KeyError(f"no telemetry published on topic {topic!r}")
+        return history[-1]
+
+    def topics(self) -> List[str]:
+        return sorted(self._history)

@@ -1,0 +1,30 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+- :mod:`repro.eval.throughput` -- the analytic network evaluator (SINR ->
+  rank/SE -> scheduler sharing -> Mbps, with inter-cell interference
+  coupling) used by all throughput figures.
+- :mod:`repro.eval.fig10` -- correctness: DAS (10a), RU sharing (10b),
+  PRB monitoring (10c).
+- :mod:`repro.eval.table2` -- dMIMO vs single-RU MIMO.
+- :mod:`repro.eval.fig11` -- the floor-walk comparison O1/O2/O3.
+- :mod:`repro.eval.fig12` -- RU sharing + DAS chaining (two MNOs).
+- :mod:`repro.eval.fig13` -- DAS -> dMIMO middlebox upgrade.
+- :mod:`repro.eval.fig14` -- power consumption configurations.
+- :mod:`repro.eval.fig15` -- scalability and per-packet latency.
+- :mod:`repro.eval.fig16` -- DPDK vs XDP CPU utilization.
+- :mod:`repro.eval.appendix` -- cost analysis and sharing math.
+"""
+
+from repro.eval.throughput import (
+    DeployedCell,
+    NetworkEvaluation,
+    UePlacement,
+    evaluate_network,
+)
+
+__all__ = [
+    "DeployedCell",
+    "NetworkEvaluation",
+    "UePlacement",
+    "evaluate_network",
+]

@@ -1,0 +1,195 @@
+"""Figure 15: DAS middlebox scalability and per-packet latency
+(Section 6.4.1).
+
+(a) Compute and network requirements vs number of RUs: middlebox ingress
+and egress traffic grow linearly with the RU count (well under NIC
+capacity); one CPU core bounds the per-slot uplink merge work below the
+~30 us slot deadline for up to four RUs, beyond which a second core is
+needed.
+
+(b) Per-packet processing time by traffic type: DL C-/U-plane stay under
+300 ns (forward + replicate); uplink packets split into a cheap caching
+majority (~75%) and an expensive decompress+sum+recompress merge tail of
+4-6 us that grows with the RU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.datapath import ScalabilityPoint, cores_required
+from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
+from repro.eval.report import format_table
+from repro.fronthaul.timing import SYMBOLS_PER_SLOT
+from repro.ran.cell import CellConfig
+from repro.ran.stacks import SRSRAN, VendorProfile
+
+#: The paper's deadline budget for added middlebox processing per slot.
+SLOT_BUDGET_NS = 30_000.0
+
+
+def uplane_wire_bytes(num_prb: int, cost_free: bool = True) -> int:
+    """Wire size of one full-band U-plane frame (headers + BFP payload)."""
+    from repro.fronthaul.compression import CompressionConfig
+
+    payload = num_prb * CompressionConfig().prb_payload_bytes()
+    # Ethernet (14) + eCPRI (8) + U-plane header (4) + section header (6).
+    return payload + 14 + 8 + 4 + 6
+
+
+def cplane_wire_bytes() -> int:
+    return 14 + 8 + 8 + 8  # Ethernet + eCPRI + radio-app header + section
+
+
+@dataclass
+class Fig15aResult:
+    points: List[ScalabilityPoint]
+
+    def format(self) -> str:
+        return format_table(
+            "Figure 15a: DAS scalability vs number of RUs",
+            ("RUs", "per-slot processing us", "CPU cores", "ingress Gbps",
+             "egress Gbps"),
+            [
+                (
+                    p.n_rus,
+                    round(p.per_slot_processing_ns / 1000.0, 1),
+                    p.cores_required,
+                    round(p.ingress_gbps, 1),
+                    round(p.egress_gbps, 1),
+                )
+                for p in self.points
+            ],
+        )
+
+
+def run_fig15a(
+    ru_counts=(2, 3, 4, 5, 6),
+    cell: CellConfig = CellConfig(pci=1),
+    profile: VendorProfile = SRSRAN,
+    cost: ActionCostModel = DEFAULT_COST_MODEL,
+) -> Fig15aResult:
+    """Analytic scalability of the DPDK DAS middlebox (100 MHz 4x4)."""
+    n_ports = cell.n_antennas
+    num_prb = cell.num_prb
+    tdd = profile.tdd
+    slots_per_second = cell.numerology.slots_per_second
+    dl_symbols_per_slot = tdd.downlink_symbol_fraction() * SYMBOLS_PER_SLOT
+    ul_symbols_per_slot = tdd.uplink_symbol_fraction() * SYMBOLS_PER_SLOT
+
+    # Traffic rates (bits/s) through the middlebox.
+    u_bytes = uplane_wire_bytes(num_prb)
+    c_bytes = cplane_wire_bytes()
+    dl_uplane_bps = u_bytes * 8 * dl_symbols_per_slot * slots_per_second * n_ports
+    ul_uplane_bps = u_bytes * 8 * ul_symbols_per_slot * slots_per_second * n_ports
+    cplane_bps = c_bytes * 8 * 2 * slots_per_second * n_ports
+
+    points: List[ScalabilityPoint] = []
+    for n_rus in ru_counts:
+        # Per-slot uplink work (Section 6.4.1's accounting: one packet per
+        # RU antenna per slot): cache all but the last RU's packets, then
+        # one merge per antenna port over all N operands.
+        cache_ops = n_ports * (n_rus - 1)
+        processing_ns = (
+            cache_ops * cost.cache_ns
+            + n_ports * cost.cache_lookup_ns
+            + n_ports * cost.merge_cost(num_prb, n_rus)
+            + n_ports * cost.forward_ns
+        )
+        ingress_bps = dl_uplane_bps + cplane_bps + n_rus * ul_uplane_bps
+        egress_bps = n_rus * (dl_uplane_bps + cplane_bps) + ul_uplane_bps
+        points.append(
+            ScalabilityPoint(
+                n_rus=n_rus,
+                per_slot_processing_ns=processing_ns,
+                cores_required=cores_required(processing_ns, SLOT_BUDGET_NS),
+                ingress_gbps=ingress_bps / 1e9,
+                egress_gbps=egress_bps / 1e9,
+            )
+        )
+    return Fig15aResult(points=points)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-traffic-class packet processing times for one RU count."""
+
+    n_rus: int
+    by_class: Dict[str, List[float]]  # class -> per-packet ns
+
+    def percentile(self, traffic_class: str, q: float) -> float:
+        return float(np.percentile(self.by_class[traffic_class], q))
+
+
+@dataclass
+class Fig15bResult:
+    breakdowns: List[LatencyBreakdown]
+
+    def format(self) -> str:
+        rows = []
+        for breakdown in self.breakdowns:
+            for traffic_class in sorted(breakdown.by_class):
+                values = np.array(breakdown.by_class[traffic_class])
+                rows.append(
+                    (
+                        breakdown.n_rus,
+                        traffic_class,
+                        round(float(np.median(values)), 0),
+                        round(float(np.percentile(values, 75)), 0),
+                        round(float(values.max()), 0),
+                    )
+                )
+        return format_table(
+            "Figure 15b: per-packet processing time (ns)",
+            ("RUs", "traffic", "median", "p75", "max"),
+            rows,
+        )
+
+
+def run_fig15b(
+    ru_counts=(2, 3, 4),
+    n_slots: int = 4,
+    seed: int = 29,
+) -> Fig15bResult:
+    """Packet-level latency breakdown: run the real DAS middlebox on a
+    100 MHz cell and read its per-packet action traces."""
+    from repro.apps.das import DasMiddlebox
+    from repro.fronthaul.cplane import Direction
+    from repro.ran.du import DistributedUnit
+    from repro.ran.ru import RadioUnit, RuConfig
+    from repro.ran.traffic import ConstantBitrateFlow
+    from repro.sim.network_sim import FronthaulNetwork
+
+    breakdowns: List[LatencyBreakdown] = []
+    for n_rus in ru_counts:
+        cell = CellConfig(pci=1)
+        du = DistributedUnit(du_id=1, cell=cell, symbols_per_slot=1, seed=seed)
+        rus = [
+            RadioUnit(
+                ru_id=index,
+                config=RuConfig(num_prb=cell.num_prb,
+                                n_antennas=cell.n_antennas),
+                du_mac=du.mac,
+                seed=seed,
+            )
+            for index in range(n_rus)
+        ]
+        das = DasMiddlebox(du_mac=du.mac, ru_macs=[ru.mac for ru in rus])
+        du.scheduler.add_ue("ue", dl_layers=4)
+        du.scheduler.update_ue_quality("ue", dl_aggregate_se=16.0, ul_se=3.0)
+        du.attach_flow("ue", ConstantBitrateFlow(800, "dl"),
+                       Direction.DOWNLINK)
+        du.attach_flow("ue", ConstantBitrateFlow(60, "ul"), Direction.UPLINK)
+        network = FronthaulNetwork(middleboxes=[das])
+        network.add_du(du)
+        for ru in rus:
+            network.add_ru(ru)
+        network.run(n_slots)
+        by_class: Dict[str, List[float]] = {}
+        for traffic_class, traces in das.traces_by_class.items():
+            by_class[traffic_class] = [trace.total_ns() for trace in traces]
+        breakdowns.append(LatencyBreakdown(n_rus=n_rus, by_class=by_class))
+    return Fig15bResult(breakdowns=breakdowns)

@@ -1,0 +1,32 @@
+"""Report formatting: print experiment results as the paper's rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Monospace table with a title line (what the benches print)."""
+    rendered: List[List[str]] = [[str(cell) for cell in header]]
+    for row in rows:
+        rendered.append([_fmt(cell) for cell in row])
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(header))
+    ]
+    lines = [title]
+    for index, row in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

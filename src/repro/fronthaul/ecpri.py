@@ -1,0 +1,131 @@
+"""eCPRI transport header and eAxC (antenna-carrier) identifiers.
+
+The O-RAN fronthaul rides on eCPRI over Ethernet.  Each message carries a
+4-byte eCPRI common header followed by a 2-byte eAxC id (``ecpriPcid`` for
+U-plane, ``ecpriRtcid`` for C-plane) and a 2-byte sequence id.
+
+The eAxC id is the field the dMIMO middlebox rewrites: its ``ru_port``
+sub-field identifies the logical antenna stream, and remapping it gives the
+DU the illusion of a single large virtual RU (Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+ECPRI_VERSION = 1
+
+_COMMON = struct.Struct("!BBH")
+_IDS = struct.Struct("!HH")
+
+ECPRI_HEADER_SIZE = _COMMON.size + _IDS.size
+
+
+class EcpriMessageType(enum.IntEnum):
+    """eCPRI message types used by the O-RAN fronthaul."""
+
+    IQ_DATA = 0  # U-plane
+    RT_CONTROL = 2  # C-plane
+
+
+@dataclass(frozen=True)
+class EAxCId:
+    """A 16-bit eAxC id split into DU port / band-sector / CC / RU port.
+
+    The bit widths of the four sub-fields are deployment-configurable in
+    O-RAN; the widths used here (and by our testbed captures, Figure 2)
+    are 4/4/4/4 by default.
+    """
+
+    du_port: int
+    band_sector: int = 0
+    cc: int = 0
+    ru_port: int = 0
+    widths: Tuple[int, int, int, int] = (4, 4, 4, 4)
+
+    def __post_init__(self) -> None:
+        if sum(self.widths) != 16:
+            raise ValueError(f"eAxC field widths must sum to 16: {self.widths}")
+        for name, value, width in zip(
+            ("du_port", "band_sector", "cc", "ru_port"),
+            (self.du_port, self.band_sector, self.cc, self.ru_port),
+            self.widths,
+        ):
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"eAxC {name}={value} exceeds {width} bits")
+
+    def to_int(self) -> int:
+        w_du, w_bs, w_cc, w_ru = self.widths
+        value = self.du_port
+        value = (value << w_bs) | self.band_sector
+        value = (value << w_cc) | self.cc
+        value = (value << w_ru) | self.ru_port
+        return value
+
+    @classmethod
+    def from_int(
+        cls, value: int, widths: Tuple[int, int, int, int] = (4, 4, 4, 4)
+    ) -> "EAxCId":
+        if not 0 <= value < (1 << 16):
+            raise ValueError(f"eAxC id out of range: {value}")
+        w_du, w_bs, w_cc, w_ru = widths
+        ru_port = value & ((1 << w_ru) - 1)
+        value >>= w_ru
+        cc = value & ((1 << w_cc) - 1)
+        value >>= w_cc
+        band_sector = value & ((1 << w_bs) - 1)
+        value >>= w_bs
+        du_port = value
+        return cls(du_port, band_sector, cc, ru_port, widths)
+
+    def with_ru_port(self, ru_port: int) -> "EAxCId":
+        """Return a copy with a different RU port (dMIMO's A4 remap)."""
+        return replace(self, ru_port=ru_port)
+
+
+@dataclass
+class EcpriHeader:
+    """eCPRI common header + eAxC id + sequence id.
+
+    ``seq_id`` increments per eAxC flow; ``e_bit`` marks the last fragment
+    of a message (always set here: the simulator does not fragment) and
+    ``sub_seq_id`` numbers fragments within a message.
+    """
+
+    message_type: EcpriMessageType
+    payload_size: int
+    eaxc: EAxCId
+    seq_id: int = 0
+    e_bit: bool = True
+    sub_seq_id: int = 0
+
+    def pack(self) -> bytes:
+        first = (ECPRI_VERSION << 4) & 0xF0  # reserved and C bits zero
+        seq_byte = (int(self.e_bit) << 7) | (self.sub_seq_id & 0x7F)
+        return _COMMON.pack(first, int(self.message_type), self.payload_size) + _IDS.pack(
+            self.eaxc.to_int(), ((self.seq_id & 0xFF) << 8) | seq_byte
+        )
+
+    @classmethod
+    def unpack(
+        cls, data: bytes, widths: Tuple[int, int, int, int] = (4, 4, 4, 4)
+    ) -> Tuple["EcpriHeader", int]:
+        if len(data) < ECPRI_HEADER_SIZE:
+            raise ValueError("truncated eCPRI header")
+        first, msg_type, payload_size = _COMMON.unpack_from(data)
+        version = (first >> 4) & 0xF
+        if version != ECPRI_VERSION:
+            raise ValueError(f"unsupported eCPRI version: {version}")
+        eaxc_raw, seq_raw = _IDS.unpack_from(data, _COMMON.size)
+        header = cls(
+            message_type=EcpriMessageType(msg_type),
+            payload_size=payload_size,
+            eaxc=EAxCId.from_int(eaxc_raw, widths),
+            seq_id=(seq_raw >> 8) & 0xFF,
+            e_bit=bool((seq_raw >> 7) & 0x1),
+            sub_seq_id=seq_raw & 0x7F,
+        )
+        return header, ECPRI_HEADER_SIZE

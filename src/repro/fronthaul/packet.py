@@ -1,0 +1,123 @@
+"""Top-level fronthaul packets: Ethernet + eCPRI + C/U-plane message.
+
+:class:`FronthaulPacket` is the unit of work RANBooster middleboxes
+receive, inspect, and rewrite.  It serializes to the full on-wire byte
+sequence and parses back, so middlebox logic can be validated against
+byte-exact round trips.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.fronthaul.cplane import CPlaneMessage, Direction
+from repro.fronthaul.ecpri import (
+    EcpriHeader,
+    EcpriMessageType,
+)
+from repro.fronthaul.ethernet import ETHERTYPE_ECPRI, EthernetHeader, MacAddress
+from repro.fronthaul.uplane import UPlaneMessage
+
+Message = Union[CPlaneMessage, UPlaneMessage]
+
+
+@dataclass
+class FronthaulPacket:
+    """One fronthaul Ethernet frame carrying a C-plane or U-plane message.
+
+    ``eth`` addresses identify the DU/RU endpoints (rewritten by action
+    A1); ``ecpri.eaxc`` identifies the antenna stream (rewritten by the
+    dMIMO middlebox); ``message`` is the O-RAN payload (rewritten by A4).
+    """
+
+    eth: EthernetHeader
+    ecpri: EcpriHeader
+    message: Message
+
+    @property
+    def is_cplane(self) -> bool:
+        return isinstance(self.message, CPlaneMessage)
+
+    @property
+    def is_uplane(self) -> bool:
+        return isinstance(self.message, UPlaneMessage)
+
+    @property
+    def direction(self) -> Direction:
+        return self.message.direction
+
+    @property
+    def time(self):
+        return self.message.time
+
+    @property
+    def eaxc(self):
+        return self.ecpri.eaxc
+
+    def flow_key(self) -> Tuple:
+        """(time, direction, ru_port): the key middlebox caches use."""
+        return (self.message.time, self.message.direction, self.ecpri.eaxc.ru_port)
+
+    def clone(self) -> "FronthaulPacket":
+        """Deep copy — the substrate of the A2 (replicate) action."""
+        return copy.deepcopy(self)
+
+    def pack(self) -> bytes:
+        body = self.message.pack()
+        ecpri = EcpriHeader(
+            message_type=self.ecpri.message_type,
+            payload_size=len(body) + 4,  # eAxC id + seq id count as payload
+            eaxc=self.ecpri.eaxc,
+            seq_id=self.ecpri.seq_id,
+            e_bit=self.ecpri.e_bit,
+            sub_seq_id=self.ecpri.sub_seq_id,
+        )
+        return self.eth.pack() + ecpri.pack() + body
+
+    @property
+    def wire_size(self) -> int:
+        """Serialized frame length in bytes (used for bandwidth accounting)."""
+        return len(self.pack())
+
+
+def make_packet(
+    src: MacAddress,
+    dst: MacAddress,
+    message: Message,
+    seq_id: int = 0,
+    eaxc=None,
+    vlan=None,
+) -> FronthaulPacket:
+    """Convenience constructor used by the DU/RU models."""
+    from repro.fronthaul.ecpri import EAxCId
+
+    if eaxc is None:
+        eaxc = EAxCId(du_port=0)
+    message_type = (
+        EcpriMessageType.RT_CONTROL
+        if isinstance(message, CPlaneMessage)
+        else EcpriMessageType.IQ_DATA
+    )
+    eth = EthernetHeader(dst=dst, src=src, ethertype=ETHERTYPE_ECPRI, vlan=vlan)
+    ecpri = EcpriHeader(
+        message_type=message_type, payload_size=0, eaxc=eaxc, seq_id=seq_id
+    )
+    return FronthaulPacket(eth=eth, ecpri=ecpri, message=message)
+
+
+def parse_packet(
+    data: bytes, carrier_num_prb: Optional[int] = None
+) -> FronthaulPacket:
+    """Parse a full on-wire frame back into a :class:`FronthaulPacket`."""
+    eth, offset = EthernetHeader.unpack(data)
+    if eth.ethertype != ETHERTYPE_ECPRI:
+        raise ValueError(f"not an eCPRI frame: ethertype 0x{eth.ethertype:04x}")
+    ecpri, consumed = EcpriHeader.unpack(data[offset:])
+    body = data[offset + consumed :]
+    if ecpri.message_type is EcpriMessageType.RT_CONTROL:
+        message: Message = CPlaneMessage.unpack(body, carrier_num_prb)
+    else:
+        message = UPlaneMessage.unpack(body, carrier_num_prb)
+    return FronthaulPacket(eth=eth, ecpri=ecpri, message=message)

@@ -1,0 +1,204 @@
+"""O-RAN U-plane messages: IQ sample transport.
+
+U-plane messages carry the modulated radio waveform between DU and RU as
+per-subcarrier IQ samples, BFP-compressed per PRB (Section 2.2, Figure 2).
+These are the packets the DAS middlebox sums element-wise, the RU-sharing
+middlebox multiplexes/demultiplexes, and the PRB monitor inspects.
+
+Payloads are stored as raw wire bytes so that middleboxes can exercise the
+same fast paths as the C implementation: reading an exponent byte does not
+decompress the PRB, and aligned PRB copies are byte-range copies.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.fronthaul.compression import BfpCompressor, CompressionConfig
+from repro.fronthaul.cplane import ALL_PRBS, Direction
+from repro.fronthaul.timing import SymbolTime
+
+_HDR = struct.Struct("!BBH")
+_SECTION_HDR = struct.Struct("!3sBBB")
+
+
+@dataclass
+class UPlaneSection:
+    """One U-plane section: a PRB range plus its compressed IQ payload."""
+
+    section_id: int
+    start_prb: int
+    num_prb: int
+    payload: bytes
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+    rb: int = 0
+    sym_inc: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.section_id < (1 << 12):
+            raise ValueError(f"sectionId out of range: {self.section_id}")
+        if not 0 <= self.start_prb < (1 << 10):
+            raise ValueError(f"startPrbu out of range: {self.start_prb}")
+        expected = self.num_prb * self.compression.prb_payload_bytes()
+        if len(self.payload) != expected:
+            raise ValueError(
+                f"payload size {len(self.payload)} does not match "
+                f"{self.num_prb} PRBs ({expected} bytes)"
+            )
+
+    @property
+    def prb_range(self) -> Tuple[int, int]:
+        return (self.start_prb, self.start_prb + self.num_prb)
+
+    # -- IQ helpers (action A4 building blocks) -----------------------------
+
+    def iq_samples(self) -> np.ndarray:
+        """Decompress to int16 samples of shape (num_prb, 24)."""
+        return BfpCompressor(self.compression).decompress(self.payload, self.num_prb)
+
+    def exponents(self) -> np.ndarray:
+        """Per-PRB BFP exponents without decompressing (Algorithm 1)."""
+        return BfpCompressor(self.compression).read_exponents(
+            self.payload, self.num_prb
+        )
+
+    def prb_payload(self, prb: int) -> bytes:
+        """Raw wire bytes of one PRB relative to this section's range."""
+        size = self.compression.prb_payload_bytes()
+        index = prb - self.start_prb
+        if not 0 <= index < self.num_prb:
+            raise ValueError(f"PRB {prb} outside section range {self.prb_range}")
+        return self.payload[index * size : (index + 1) * size]
+
+    def replace_payload(self, samples: np.ndarray) -> "UPlaneSection":
+        """Return a copy with recompressed IQ samples."""
+        payload = BfpCompressor(self.compression).compress(samples)
+        return UPlaneSection(
+            section_id=self.section_id,
+            start_prb=self.start_prb,
+            num_prb=self.num_prb,
+            payload=payload,
+            compression=self.compression,
+            rb=self.rb,
+            sym_inc=self.sym_inc,
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        section_id: int,
+        start_prb: int,
+        samples: np.ndarray,
+        compression: CompressionConfig = CompressionConfig(),
+    ) -> "UPlaneSection":
+        """Build a section by compressing int16 samples of shape (n, 24)."""
+        payload = BfpCompressor(compression).compress(samples)
+        return cls(
+            section_id=section_id,
+            start_prb=start_prb,
+            num_prb=len(samples),
+            payload=payload,
+            compression=compression,
+        )
+
+    def pack(self) -> bytes:
+        word = (
+            ((self.section_id & 0xFFF) << 12)
+            | ((self.rb & 0x1) << 11)
+            | ((self.sym_inc & 0x1) << 10)
+            | (self.start_prb & 0x3FF)
+        )
+        num_prb_byte = self.num_prb if 0 < self.num_prb <= 255 else ALL_PRBS
+        return (
+            _SECTION_HDR.pack(
+                word.to_bytes(3, "big"),
+                num_prb_byte,
+                self.compression.to_byte(),
+                0,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(
+        cls, data: bytes, offset: int, carrier_num_prb: Optional[int] = None
+    ) -> Tuple["UPlaneSection", int]:
+        if len(data) - offset < _SECTION_HDR.size:
+            raise ValueError("truncated U-plane section header")
+        head, num_prb, comp_byte, _ = _SECTION_HDR.unpack_from(data, offset)
+        head = int.from_bytes(head, "big")
+        offset += _SECTION_HDR.size
+        if num_prb == ALL_PRBS:
+            if carrier_num_prb is None:
+                raise ValueError("numPrbu=0 (all PRBs) needs carrier_num_prb")
+            num_prb = carrier_num_prb
+        compression = CompressionConfig.from_byte(comp_byte)
+        payload_size = num_prb * compression.prb_payload_bytes()
+        if len(data) - offset < payload_size:
+            raise ValueError("truncated U-plane payload")
+        section = cls(
+            section_id=(head >> 12) & 0xFFF,
+            rb=(head >> 11) & 0x1,
+            sym_inc=(head >> 10) & 0x1,
+            start_prb=head & 0x3FF,
+            num_prb=num_prb,
+            payload=data[offset : offset + payload_size],
+            compression=compression,
+        )
+        return section, offset + payload_size
+
+
+@dataclass
+class UPlaneMessage:
+    """A full U-plane message: timing header plus IQ sections."""
+
+    direction: Direction
+    time: SymbolTime
+    sections: List[UPlaneSection] = field(default_factory=list)
+    filter_index: int = 0
+
+    def pack(self) -> bytes:
+        first = (
+            ((int(self.direction) & 0x1) << 7)
+            | ((1 & 0x7) << 4)
+            | (self.filter_index & 0xF)
+        )
+        timing = (
+            ((self.time.subframe & 0xF) << 12)
+            | ((self.time.slot & 0x3F) << 6)
+            | (self.time.symbol & 0x3F)
+        )
+        out = bytearray(_HDR.pack(first, self.time.frame & 0xFF, timing))
+        for section in self.sections:
+            out.extend(section.pack())
+        return bytes(out)
+
+    @classmethod
+    def unpack(
+        cls, data: bytes, carrier_num_prb: Optional[int] = None
+    ) -> "UPlaneMessage":
+        if len(data) < _HDR.size:
+            raise ValueError("truncated U-plane header")
+        first, frame, timing = _HDR.unpack_from(data)
+        message = cls(
+            direction=Direction((first >> 7) & 0x1),
+            time=SymbolTime(
+                frame,
+                (timing >> 12) & 0xF,
+                (timing >> 6) & 0x3F,
+                timing & 0x3F,
+            ),
+            filter_index=first & 0xF,
+        )
+        offset = _HDR.size
+        while offset < len(data):
+            section, offset = UPlaneSection.unpack(data, offset, carrier_num_prb)
+            message.sections.append(section)
+        return message
+
+    def total_prbs(self) -> int:
+        return sum(section.num_prb for section in self.sections)

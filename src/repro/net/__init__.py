@@ -1,0 +1,20 @@
+"""Network substrate: links, NICs with SR-IOV, and the fronthaul switch.
+
+Models the testbed's 100GbE Arista switch fabric and the Mellanox
+ConnectX-6 Dx NICs whose SR-IOV virtual functions host chained middleboxes
+(Section 5, Figure 8), including the PCIe throughput constraint that
+bounds chain depth.
+"""
+
+from repro.net.link import Link, LinkStats
+from repro.net.nic import Nic, PcieBus, VirtualFunction
+from repro.net.switch import EthernetSwitch
+
+__all__ = [
+    "Link",
+    "LinkStats",
+    "Nic",
+    "PcieBus",
+    "VirtualFunction",
+    "EthernetSwitch",
+]

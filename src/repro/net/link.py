@@ -1,0 +1,50 @@
+"""Point-to-point links with capacity and latency accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LinkStats:
+    bytes_carried: int = 0
+    packets_carried: int = 0
+    drops: int = 0
+
+
+@dataclass
+class Link:
+    """A full-duplex link: fixed propagation delay plus serialization.
+
+    ``transfer`` accounts a frame and returns its one-way latency in
+    nanoseconds; sustained-rate checks are done per interval via
+    :meth:`utilization`.
+    """
+
+    name: str
+    capacity_gbps: float = 100.0
+    propagation_ns: float = 500.0
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError("link capacity must be positive")
+
+    def serialization_ns(self, frame_bytes: int) -> float:
+        return frame_bytes * 8 / self.capacity_gbps
+
+    def transfer(self, frame_bytes: int) -> float:
+        """Account one frame; returns its latency (ns)."""
+        self.stats.bytes_carried += frame_bytes
+        self.stats.packets_carried += 1
+        return self.propagation_ns + self.serialization_ns(frame_bytes)
+
+    def utilization(self, interval_ns: float) -> float:
+        """Average utilization over an interval given accounted traffic."""
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        bits = self.stats.bytes_carried * 8
+        return bits / (self.capacity_gbps * interval_ns)
+
+    def reset(self) -> None:
+        self.stats = LinkStats()

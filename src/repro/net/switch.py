@@ -1,0 +1,55 @@
+"""The top-of-rack fronthaul switch (an Arista 7050 equivalent).
+
+A thin capacity-aware wrapper around the MAC-forwarding core of
+:class:`repro.core.chain.FronthaulSwitch`: per-port byte counters let the
+experiments verify that middlebox fan-out traffic (Figure 15a) stays
+within port capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.chain import FronthaulSwitch, PortRole
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import FronthaulPacket
+
+
+@dataclass
+class PortSpec:
+    name: str
+    capacity_gbps: float = 100.0
+
+
+class EthernetSwitch:
+    """Capacity-tracked Ethernet switch for DU/RU/middlebox attachment."""
+
+    def __init__(self, name: str = "arista7050"):
+        self.name = name
+        self.fabric = FronthaulSwitch()
+        self._capacity: Dict[str, float] = {}
+
+    def attach(
+        self,
+        spec: PortSpec,
+        role: PortRole,
+        macs: Sequence[MacAddress],
+        deliver: Callable[[FronthaulPacket], None],
+    ) -> None:
+        self.fabric.attach(spec.name, role, macs, deliver)
+        self._capacity[spec.name] = spec.capacity_gbps
+
+    def inject(self, packet: FronthaulPacket, from_port: str) -> None:
+        self.fabric.inject(packet, from_port)
+
+    def port_utilization(self, port: str, interval_ns: float) -> float:
+        """Egress utilization of one port over an interval."""
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        entry = self.fabric.port(port)
+        bits = entry.rx_bytes * 8  # bytes delivered to the port's device
+        return bits / (self._capacity[port] * interval_ns)
+
+    def port_names(self) -> List[str]:
+        return sorted(self._capacity)

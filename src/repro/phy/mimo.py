@@ -1,0 +1,166 @@
+"""MIMO link adaptation: rank selection, spectral efficiency, throughput.
+
+The model maps per-antenna-port SINRs to a per-layer attenuated-Shannon
+spectral efficiency, accounting for:
+
+- residual inter-layer interference after equalization, which grows with
+  rank (channel conditioning: rank 4 leaves no spare receive degrees of
+  freedom, rank 2 leaves two), and
+- the transmitter EVM floor that caps achievable SINR on real radios.
+
+Per-antenna SINRs make distributed MIMO fall out naturally: a UE close to
+one RU of a dMIMO cell sees strong layers from that RU and weaker layers
+from the far RUs, which is why Figure 13 reports a 2-3x gain "depending on
+the location" rather than a flat 4x.
+
+Calibration: with the defaults, a near UE on a 100 MHz cell yields
+~690 Mbps at rank 2 and ~930 Mbps at rank 4 (Table 2 measured 653.4 and
+898.2), and the rank indicator matches the antenna count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.phy.channel import db_to_linear
+
+#: Attenuation of Shannon capacity from real coding/implementation.
+SHANNON_ATTENUATION = 0.75
+#: Max per-layer spectral efficiency: 256QAM, rate ~0.93 (bits/s/Hz).
+MAX_SE_BITS_PER_HZ = 7.4
+#: Residual inter-layer leakage per interfering layer, scaled by (rank-1).
+DEFAULT_LAYER_ISOLATION = 0.00265
+#: Transmitter error-vector-magnitude floor (~ -28 dB effective).
+DEFAULT_EVM_FLOOR = 0.00152
+
+
+def spectral_efficiency(sinr_db: float, max_se: float = MAX_SE_BITS_PER_HZ) -> float:
+    """Attenuated-Shannon SE in bits/s/Hz for one layer."""
+    sinr = db_to_linear(sinr_db)
+    return min(SHANNON_ATTENUATION * math.log2(1.0 + sinr), max_se)
+
+
+@dataclass(frozen=True)
+class MimoLink:
+    """A MIMO downlink between a (possibly virtual) RU and one UE.
+
+    ``antenna_sinrs_db`` holds the wideband SINR contributed by each
+    transmit antenna port (noise and inter-cell interference already
+    included).  For a colocated RU all entries are equal; for a dMIMO
+    virtual RU each physical RU contributes its ports at its own SINR.
+    """
+
+    antenna_sinrs_db: Tuple[float, ...]
+    max_layers: int = 4
+    layer_isolation: float = DEFAULT_LAYER_ISOLATION
+    evm_floor: float = DEFAULT_EVM_FLOOR
+    max_se: float = MAX_SE_BITS_PER_HZ
+
+    def __post_init__(self) -> None:
+        if not self.antenna_sinrs_db:
+            raise ValueError("at least one antenna port required")
+        if self.max_layers < 1:
+            raise ValueError("max_layers must be >= 1")
+
+    @classmethod
+    def colocated(
+        cls, sinr_db: float, n_antennas: int, max_layers: int = 4, **kwargs
+    ) -> "MimoLink":
+        """All antenna ports on one RU: equal per-port SINR."""
+        return cls(
+            antenna_sinrs_db=(sinr_db,) * n_antennas,
+            max_layers=min(max_layers, n_antennas),
+            **kwargs,
+        )
+
+    @classmethod
+    def distributed(
+        cls,
+        groups: Sequence[Tuple[float, int]],
+        max_layers: int = 4,
+        **kwargs,
+    ) -> "MimoLink":
+        """dMIMO virtual RU: ``groups`` is (sinr_db, n_antennas) per RU."""
+        sinrs: list = []
+        for sinr_db, n_antennas in groups:
+            sinrs.extend([sinr_db] * n_antennas)
+        return cls(
+            antenna_sinrs_db=tuple(sinrs),
+            max_layers=min(max_layers, len(sinrs)),
+            **kwargs,
+        )
+
+    def _sorted_linear(self) -> "list[float]":
+        return sorted((db_to_linear(s) for s in self.antenna_sinrs_db), reverse=True)
+
+    def layer_sinrs_db(self, rank: int) -> "list[float]":
+        """Post-equalization SINR per layer at a given rank.
+
+        The strongest ``rank`` antenna ports carry the layers, and the
+        transmitter redistributes the total power budget over them (a
+        rank-1 transmission from a 4-port RU enjoys the full array power —
+        the precoding gain).  Each layer then sees the noise floor, the
+        EVM floor relative to its own power, and inter-layer leakage
+        proportional to the other layers' powers scaled by (rank-1) — the
+        conditioning penalty of exhausting receive degrees of freedom.
+        """
+        n_ports = len(self.antenna_sinrs_db)
+        if not 1 <= rank <= min(self.max_layers, n_ports):
+            raise ValueError(f"rank {rank} not supported by this link")
+        boost = n_ports / rank
+        chosen = [s * boost for s in self._sorted_linear()[:rank]]
+        total = sum(chosen)
+        result = []
+        for s in chosen:
+            leakage = self.layer_isolation * (rank - 1) * (total - s)
+            evm = self.evm_floor * s
+            result.append(10.0 * math.log10(s / (1.0 + leakage + evm)))
+        return result
+
+    def rank_aggregate_se(self, rank: int) -> float:
+        """Aggregate SE (bits/s/Hz summed over layers) at a given rank."""
+        return sum(
+            spectral_efficiency(sinr, self.max_se)
+            for sinr in self.layer_sinrs_db(rank)
+        )
+
+    def best_rank(self) -> int:
+        """Rank indicator: the rank maximizing aggregate SE (Table 2 KPI)."""
+        upper = min(self.max_layers, len(self.antenna_sinrs_db))
+        best, best_se = 1, -1.0
+        for rank in range(1, upper + 1):
+            se = self.rank_aggregate_se(rank)
+            if se > best_se + 1e-12:
+                best, best_se = rank, se
+        return best
+
+    def aggregate_se(self) -> float:
+        """Aggregate spectral efficiency at the best rank."""
+        return self.rank_aggregate_se(self.best_rank())
+
+
+def throughput_mbps(
+    aggregate_se: float,
+    occupied_bandwidth_hz: float,
+    direction_fraction: float,
+    overhead_fraction: float = 0.14,
+) -> float:
+    """Sustained MAC-layer throughput in Mbps.
+
+    ``direction_fraction`` is the TDD symbol share of the link direction
+    (``TddPattern.downlink_symbol_fraction()``); ``overhead_fraction``
+    covers PDCCH/DMRS/SSB and other non-data REs.
+    """
+    if not 0 <= direction_fraction <= 1:
+        raise ValueError("direction fraction must be in [0, 1]")
+    if not 0 <= overhead_fraction < 1:
+        raise ValueError("overhead fraction must be in [0, 1)")
+    rate = (
+        aggregate_se
+        * occupied_bandwidth_hz
+        * direction_fraction
+        * (1.0 - overhead_fraction)
+    )
+    return rate / 1e6

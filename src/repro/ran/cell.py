@@ -1,0 +1,83 @@
+"""Cell configuration: the parameters shared by a DU and its RU(s)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fronthaul.compression import CompressionConfig
+from repro.fronthaul.spectrum import PrbGrid, prbs_for_bandwidth
+from repro.fronthaul.timing import Numerology, TddPattern
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """Static configuration of one 5G NR TDD cell.
+
+    Matches the testbed cells of Section 6: band n78, 30 kHz SCS, up to
+    100 MHz and 4x4 MIMO, BFP-9 compression on the fronthaul.
+    """
+
+    pci: int
+    bandwidth_hz: int = 100_000_000
+    center_frequency_hz: float = 3.46e9
+    n_antennas: int = 4
+    max_dl_layers: int = 4
+    numerology: Numerology = field(default_factory=lambda: Numerology(mu=1))
+    tdd: TddPattern = field(default_factory=TddPattern)
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+    ssb_period_slots: int = 40  # 20 ms at 30 kHz SCS
+    prach_period_slots: int = 40
+    #: Offset within the PRACH period so occasions land on uplink slots
+    #: (slot 4 is the U slot of both DDDSU and DDDSUDDSUU).
+    prach_slot_offset: int = 4
+    prach_num_prb: int = 12
+    prach_freq_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pci < 1008:
+            raise ValueError(f"PCI out of range: {self.pci}")
+        if self.n_antennas < 1:
+            raise ValueError("cell needs at least one antenna")
+        if self.max_dl_layers > self.n_antennas:
+            raise ValueError("layers cannot exceed antenna count")
+
+    @property
+    def num_prb(self) -> int:
+        return prbs_for_bandwidth(self.bandwidth_hz, self.numerology.scs_hz)
+
+    @property
+    def grid(self) -> PrbGrid:
+        return PrbGrid(
+            center_frequency_hz=self.center_frequency_hz,
+            num_prb=self.num_prb,
+            scs_hz=self.numerology.scs_hz,
+        )
+
+    @property
+    def occupied_bandwidth_hz(self) -> int:
+        return self.grid.occupied_bandwidth_hz
+
+    def is_ssb_slot(self, absolute_slot: int) -> bool:
+        """SSB transmission slots (every ``ssb_period_slots``).
+
+        The SSB is a periodic broadcast in well-known symbols/PRBs of the
+        cell, transmitted on the first antenna port only — the property
+        the dMIMO middlebox exploits to replicate it (Section 4.2).
+        """
+        return absolute_slot % self.ssb_period_slots == 0
+
+    def is_prach_slot(self, absolute_slot: int) -> bool:
+        return (
+            absolute_slot % self.prach_period_slots == self.prach_slot_offset
+        )
+
+    #: PRB range of the SSB within the grid: 20 PRBs centred in the band.
+    @property
+    def ssb_prb_range(self) -> "tuple[int, int]":
+        start = max((self.num_prb - 20) // 2, 0)
+        return (start, min(start + 20, self.num_prb))
+
+    @property
+    def ssb_symbols(self) -> "tuple[int, ...]":
+        """Symbols of an SSB slot carrying SSB blocks (case C pattern)."""
+        return (2, 3, 4, 5)

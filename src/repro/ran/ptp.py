@@ -1,0 +1,198 @@
+"""S-plane: PTP (IEEE 1588) two-step synchronization message exchange.
+
+Section 2.2: the fronthaul's S-plane carries synchronization; "strict
+nanosecond-level synchronization protocols, like PTP and SyncE" keep DU
+and RUs inside their transmit/receive windows, and dMIMO needs tight
+phase alignment on top (Section 4.2).
+
+This module implements the two-step delay request-response mechanism at
+message level: Sync/Follow_Up stamped at the grandmaster, Delay_Req /
+Delay_Resp from the client, the standard offset computation, and an EWMA
+servo that converges the client clock.  :class:`repro.ran.sync.PtpClock`
+models the *steady state*; this models *how it gets there*, including the
+path-asymmetry error PTP famously cannot observe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+class PtpMessageType(enum.Enum):
+    SYNC = "sync"
+    FOLLOW_UP = "follow_up"
+    DELAY_REQ = "delay_req"
+    DELAY_RESP = "delay_resp"
+
+
+@dataclass(frozen=True)
+class PtpMessage:
+    """One PTP event/general message with its origin timestamp."""
+
+    kind: PtpMessageType
+    sequence: int
+    timestamp_ns: float  # t1 for FOLLOW_UP, t4 for DELAY_RESP
+
+
+@dataclass
+class PtpPath:
+    """The network between GM and client: delay, asymmetry, jitter."""
+
+    mean_delay_ns: float = 5_000.0  # a few switch hops
+    asymmetry_ns: float = 0.0  # forward minus reverse extra delay
+    jitter_ns: float = 30.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mean_delay_ns < 0:
+            raise ValueError("path delay cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def forward_ns(self) -> float:
+        return max(
+            self.mean_delay_ns
+            + self.asymmetry_ns / 2
+            + self._rng.normal(0, self.jitter_ns),
+            0.0,
+        )
+
+    def reverse_ns(self) -> float:
+        return max(
+            self.mean_delay_ns
+            - self.asymmetry_ns / 2
+            + self._rng.normal(0, self.jitter_ns),
+            0.0,
+        )
+
+
+@dataclass
+class OffsetSample:
+    """One completed two-step exchange."""
+
+    sequence: int
+    offset_ns: float  # measured client-minus-master offset
+    mean_path_delay_ns: float
+
+
+class PtpSession:
+    """A GM <-> client session over one path.
+
+    ``exchange()`` runs one full two-step round (Sync, Follow_Up,
+    Delay_Req, Delay_Resp) and applies the textbook estimators::
+
+        offset     = ((t2 - t1) - (t4 - t3)) / 2
+        path_delay = ((t2 - t1) + (t4 - t3)) / 2
+
+    then steps the client's correction through an EWMA servo.  The
+    residual after convergence is the jitter-limited noise floor plus
+    half the path asymmetry — the error PTP cannot see, and the reason
+    fronthaul deployments engineer symmetric paths.
+    """
+
+    def __init__(
+        self,
+        path: PtpPath,
+        true_client_offset_ns: float = 0.0,
+        servo_gain: float = 0.25,
+    ):
+        if not 0 < servo_gain <= 1:
+            raise ValueError("servo gain must be in (0, 1]")
+        self.path = path
+        self.true_client_offset_ns = true_client_offset_ns
+        self.servo_gain = servo_gain
+        self.correction_ns = 0.0
+        self.samples: List[OffsetSample] = []
+        self.log: List[PtpMessage] = []
+        self._sequence = 0
+        self._master_time_ns = 0.0
+
+    # -- clocks -----------------------------------------------------------
+
+    def _master_now(self) -> float:
+        return self._master_time_ns
+
+    def _client_now(self) -> float:
+        """Client reading: true offset minus the servo's correction."""
+        return (
+            self._master_time_ns
+            + self.true_client_offset_ns
+            - self.correction_ns
+        )
+
+    def _advance(self, delta_ns: float) -> None:
+        self._master_time_ns += delta_ns
+
+    # -- protocol -----------------------------------------------------------
+
+    def exchange(self) -> OffsetSample:
+        """One two-step round; returns the measured offset sample."""
+        sequence = self._sequence
+        self._sequence += 1
+        # Sync leaves the GM at t1 (hardware timestamp sent in Follow_Up).
+        t1 = self._master_now()
+        self.log.append(PtpMessage(PtpMessageType.SYNC, sequence, 0.0))
+        self._advance(self.path.forward_ns())
+        t2 = self._client_now()
+        self.log.append(PtpMessage(PtpMessageType.FOLLOW_UP, sequence, t1))
+        # Client initiates the reverse measurement at t3.
+        self._advance(1_000.0)  # processing gap
+        t3 = self._client_now()
+        self.log.append(PtpMessage(PtpMessageType.DELAY_REQ, sequence, 0.0))
+        self._advance(self.path.reverse_ns())
+        t4 = self._master_now()
+        self.log.append(PtpMessage(PtpMessageType.DELAY_RESP, sequence, t4))
+
+        offset = ((t2 - t1) - (t4 - t3)) / 2
+        delay = ((t2 - t1) + (t4 - t3)) / 2
+        self.correction_ns += self.servo_gain * offset
+        sample = OffsetSample(
+            sequence=sequence, offset_ns=offset, mean_path_delay_ns=delay
+        )
+        self.samples.append(sample)
+        self._advance(125_000_000.0)  # 8 exchanges/s cadence
+        return sample
+
+    def converge(self, rounds: int = 32) -> float:
+        """Run exchanges; returns the residual true offset after servo."""
+        for _ in range(max(rounds, 1)):
+            self.exchange()
+        return self.residual_ns()
+
+    def residual_ns(self) -> float:
+        """True remaining client offset (what the middlebox cares about)."""
+        return self.true_client_offset_ns - self.correction_ns
+
+    def estimated_path_delay_ns(self) -> float:
+        if not self.samples:
+            raise RuntimeError("no exchanges completed")
+        recent = self.samples[-8:]
+        return float(np.mean([s.mean_path_delay_ns for s in recent]))
+
+
+def converge_deployment(
+    n_clients: int,
+    initial_offsets_ns,
+    path_factory,
+    rounds: int = 32,
+) -> List[float]:
+    """Converge every RU/DU clock against the GM; returns residuals.
+
+    The max pairwise spread of the result is the deployment's time
+    alignment error — compare against the 65 ns dMIMO budget of
+    :meth:`repro.ran.sync.PtpClock.supports_dmimo`.
+    """
+    if n_clients < 1:
+        raise ValueError("at least one client required")
+    residuals = []
+    for index in range(n_clients):
+        session = PtpSession(
+            path=path_factory(index),
+            true_client_offset_ns=initial_offsets_ns[index],
+        )
+        residuals.append(session.converge(rounds))
+    return residuals

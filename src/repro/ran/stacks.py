@@ -1,0 +1,94 @@
+"""Vendor RAN stack profiles.
+
+The paper validated the middleboxes against three O-RAN stacks -- srsRAN
+(open source), CapGemini and Radisys (commercial, on Intel FlexRAN L1) --
+"without any source code modification, and with only small configuration
+parameter changes (e.g., TDD pattern)", observing throughput differences
+"caused by the variations in the implementation quality and cell
+configurations provided by each vendor" (Section 6.2).
+
+A profile captures exactly those variations: the TDD pattern, control
+overhead, scheduler efficiency, uplink MCS ceiling, and fronthaul packing
+conventions.  The middlebox implementations take no vendor-specific code
+paths; interop tests run the same middlebox against all three profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fronthaul.compression import CompressionConfig
+from repro.fronthaul.timing import TddPattern
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Behavioural fingerprint of one vendor's DU/L1 implementation."""
+
+    name: str
+    tdd: TddPattern
+    #: Fraction of REs lost to control channels / reference signals.
+    dl_overhead: float
+    ul_overhead: float
+    #: Scheduler efficiency: fraction of theoretically schedulable PRBs
+    #: the implementation actually fills under saturation.
+    scheduler_efficiency: float
+    #: Uplink spectral-efficiency ceiling (conservative UL MCS tables).
+    ul_max_se: float
+    #: Downlink per-layer SE ceiling.
+    dl_max_se: float
+    #: SE ceiling for single-layer (SISO) cells; some stacks cap rank-1
+    #: throughput well below the MCS table (srsRAN's 100 MHz SISO tops out
+    #: around 250 Mbps — the "implementation quality" variation of §6.2).
+    dl_max_se_rank1: float = 7.4
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+    #: Max PRBs per U-plane section before the DU splits messages.
+    uplane_section_max_prbs: int = 273
+    #: Whether C-plane messages cover a whole slot or go per-symbol.
+    cplane_per_symbol: bool = False
+
+
+SRSRAN = VendorProfile(
+    name="srsRAN",
+    tdd=TddPattern("DDDSU", 6, 4, 4),
+    dl_overhead=0.14,
+    ul_overhead=0.16,
+    scheduler_efficiency=0.97,
+    ul_max_se=3.0,
+    dl_max_se=7.4,
+    dl_max_se_rank1=4.6,
+    compression=CompressionConfig(iq_width=9),
+)
+
+CAPGEMINI = VendorProfile(
+    name="CapGemini",
+    tdd=TddPattern("DDDSUDDSUU", 10, 2, 2),
+    dl_overhead=0.12,
+    ul_overhead=0.15,
+    scheduler_efficiency=0.98,
+    ul_max_se=4.4,
+    dl_max_se=7.4,
+    compression=CompressionConfig(iq_width=9),
+    cplane_per_symbol=True,
+)
+
+RADISYS = VendorProfile(
+    name="Radisys",
+    tdd=TddPattern("DDDSU", 10, 2, 2),
+    dl_overhead=0.13,
+    ul_overhead=0.15,
+    scheduler_efficiency=0.96,
+    ul_max_se=4.0,
+    dl_max_se=7.2,
+    compression=CompressionConfig(iq_width=14),
+    uplane_section_max_prbs=136,
+)
+
+ALL_PROFILES = (SRSRAN, CAPGEMINI, RADISYS)
+
+
+def profile_by_name(name: str) -> VendorProfile:
+    for profile in ALL_PROFILES:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise KeyError(f"unknown vendor profile: {name}")

@@ -1,0 +1,62 @@
+"""Traffic generators: the iperf-equivalents of the evaluation.
+
+Flows produce bits per slot which the MAC scheduler drains; downlink flows
+fill the DU's per-UE queues, uplink flows fill the UE's buffer status
+reports.  ``ConstantBitrateFlow`` reproduces ``iperf -u -b <rate>``;
+``PoissonFlow`` adds burstiness for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ConstantBitrateFlow:
+    """A UDP CBR flow at ``rate_mbps``, like the paper's iperf tests."""
+
+    rate_mbps: float
+    name: str = "cbr"
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps < 0:
+            raise ValueError("rate must be non-negative")
+        self._credit_bits = 0.0
+
+    def bits_in_slot(self, slot_duration_ns: int) -> int:
+        """Bits arriving during one slot (credit-based, no drift)."""
+        self._credit_bits += self.rate_mbps * 1e6 * slot_duration_ns / 1e9
+        whole = int(self._credit_bits)
+        self._credit_bits -= whole
+        return whole
+
+    def reset(self) -> None:
+        self._credit_bits = 0.0
+
+
+@dataclass
+class PoissonFlow:
+    """Poisson packet arrivals at an average rate (burstier than CBR)."""
+
+    rate_mbps: float
+    packet_bits: int = 12_000  # 1500-byte packets
+    seed: int = 0
+    name: str = "poisson"
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps < 0:
+            raise ValueError("rate must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def bits_in_slot(self, slot_duration_ns: int) -> int:
+        mean_packets = (
+            self.rate_mbps * 1e6 * slot_duration_ns / 1e9 / self.packet_bits
+        )
+        return int(self._rng.poisson(mean_packets)) * self.packet_bits
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)

@@ -1,0 +1,83 @@
+"""A minimal discrete-event engine with nanosecond timestamps.
+
+The slot-synchronous experiments drive DU/RU/middlebox interactions
+directly; the engine exists for latency-sensitive scenarios (deadline
+checks, chained-middlebox delays) and for tests that need out-of-order
+packet arrival (e.g. a secondary RU's uplink arriving before the
+primary's).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    time_ns: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventEngine:
+    """Priority-queue event loop; deterministic FIFO tie-breaking."""
+
+    def __init__(self):
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self.now_ns: float = 0.0
+        self.processed = 0
+
+    def schedule(
+        self, delay_ns: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at ``now + delay_ns``."""
+        if delay_ns < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(
+            time_ns=self.now_ns + delay_ns,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time_ns: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        if time_ns < self.now_ns:
+            raise ValueError("cannot schedule into the past")
+        event = Event(
+            time_ns=time_ns,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until_ns: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains, the horizon passes, or the event cap.
+
+        Returns the number of events processed.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            if until_ns is not None and self._queue[0].time_ns > until_ns:
+                break
+            event = heapq.heappop(self._queue)
+            self.now_ns = event.time_ns
+            event.action()
+            processed += 1
+        self.processed += processed
+        if until_ns is not None and self.now_ns < until_ns and not self._queue:
+            self.now_ns = until_ns
+        return processed
+
+    def pending(self) -> int:
+        return len(self._queue)

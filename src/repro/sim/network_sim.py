@@ -1,0 +1,215 @@
+"""The packet-level testbed: DUs, middleboxes, RUs and the air interface.
+
+``FronthaulNetwork`` runs slot-synchronous packet exchange: every slot the
+DUs emit their C-/U-plane packets, the middlebox chain processes them,
+RUs accept scheduled downlink IQ and answer uplink C-plane requests with
+digitized air samples, and the chain processes the uplink back to the DUs.
+
+``RadioEnvironment`` models the air: downlink, each UE position receives
+the gain-weighted sum of all RU transmissions plus noise; uplink, each RU
+antenna receives the gain-weighted sum of all UE transmissions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.middlebox import Middlebox
+from repro.fronthaul.compression import SAMPLES_PER_PRB
+from repro.fronthaul.packet import FronthaulPacket
+from repro.fronthaul.timing import SymbolTime
+from repro.phy.channel import ChannelModel, db_to_linear
+from repro.phy.geometry import Position
+from repro.ran.du import DistributedUnit
+from repro.ran.ru import RadioUnit
+
+#: Normalized fronthaul amplitude corresponding to the RU's rated power.
+#: Air-domain gains are relative: what matters to decode correctness is
+#: the signal-to-noise contrast, which the channel model sets.
+REFERENCE_GAIN_DB = 0.0
+
+
+@dataclass
+class UeTransmission:
+    """One UE's uplink air signal for a symbol: full-band complex grid."""
+
+    position: Position
+    iq: np.ndarray  # complex, full RU band (n_prb * 12 subcarriers)
+
+
+class RadioEnvironment:
+    """Air combining between RU antennas and UE positions."""
+
+    def __init__(
+        self,
+        channel: Optional[ChannelModel] = None,
+        reference_distance_m: float = 5.0,
+    ):
+        self.channel = channel or ChannelModel()
+        # Gains are normalized to the path loss at a reference distance so
+        # fronthaul fixed-point amplitudes stay in a sane range.
+        self._reference_loss_db = self.channel.params.path_loss_db(
+            reference_distance_m
+        )
+
+    def relative_gain(self, tx: Position, rx: Position) -> float:
+        """Linear amplitude gain relative to the reference distance."""
+        gain_db = self.channel.path_gain_db(tx, rx) + self._reference_loss_db
+        return math.sqrt(db_to_linear(gain_db))
+
+    def combine_downlink(
+        self,
+        ue_position: Position,
+        transmissions: Sequence[Tuple[Position, np.ndarray]],
+        noise_amplitude: float = 1.0e-3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """What a UE receives: gain-weighted sum of RU signals + noise."""
+        rng = rng or np.random.default_rng()
+        if not transmissions:
+            raise ValueError("no transmissions to combine")
+        n_sc = len(transmissions[0][1])
+        out = np.zeros(n_sc, dtype=np.complex128)
+        for ru_position, iq in transmissions:
+            out += self.relative_gain(ru_position, ue_position) * np.asarray(iq)
+        out += rng.normal(0, noise_amplitude, n_sc) + 1j * rng.normal(
+            0, noise_amplitude, n_sc
+        )
+        return out
+
+    def combine_uplink(
+        self,
+        ru_position: Position,
+        transmissions: Sequence[UeTransmission],
+        n_subcarriers: int,
+    ) -> Optional[np.ndarray]:
+        """What one RU antenna receives from all transmitting UEs."""
+        if not transmissions:
+            return None
+        out = np.zeros(n_subcarriers, dtype=np.complex128)
+        for tx in transmissions:
+            if len(tx.iq) != n_subcarriers:
+                raise ValueError("UE transmission grid size mismatch")
+            out += self.relative_gain(tx.position, ru_position) * tx.iq
+        return out
+
+
+@dataclass
+class SlotReport:
+    """Per-slot accounting from :meth:`FronthaulNetwork.run_slot`."""
+
+    absolute_slot: int
+    dl_packets: int = 0
+    ul_packets: int = 0
+    undeliverable: int = 0
+
+
+UplinkSignalFn = Callable[[RadioUnit, Position, SymbolTime, int], Optional[np.ndarray]]
+
+
+class FronthaulNetwork:
+    """Slot-synchronous fronthaul between DUs, a middlebox chain, and RUs.
+
+    The chain is an ordered middlebox list applied downlink in order and
+    uplink in reverse.  Packets are delivered by destination MAC; frames
+    addressed to unknown MACs are counted as undeliverable (the fate of
+    packets a middlebox forgot to redirect).
+    """
+
+    def __init__(
+        self,
+        middleboxes: Sequence[Middlebox] = (),
+        environment: Optional[RadioEnvironment] = None,
+    ):
+        self.middleboxes = list(middleboxes)
+        self.environment = environment or RadioEnvironment()
+        self._dus: Dict[int, DistributedUnit] = {}
+        self._rus: Dict[int, Tuple[RadioUnit, Position]] = {}
+        self.reports: List[SlotReport] = []
+
+    def add_du(self, du: DistributedUnit) -> None:
+        self._dus[du.mac.to_int()] = du
+
+    def add_ru(self, ru: RadioUnit, position: Position = Position(0, 0)) -> None:
+        self._rus[ru.mac.to_int()] = (ru, position)
+
+    @property
+    def dus(self) -> List[DistributedUnit]:
+        return list(self._dus.values())
+
+    @property
+    def rus(self) -> List[RadioUnit]:
+        return [ru for ru, _ in self._rus.values()]
+
+    def ru_position(self, ru: RadioUnit) -> Position:
+        return self._rus[ru.mac.to_int()][1]
+
+    # -- chain application ---------------------------------------------------
+
+    def _through_chain(
+        self, packets: List[FronthaulPacket], uplink: bool
+    ) -> List[FronthaulPacket]:
+        current = packets
+        boxes = reversed(self.middleboxes) if uplink else iter(self.middleboxes)
+        for middlebox in boxes:
+            current = middlebox.process_burst(current)
+        return current
+
+    # -- slot loop ----------------------------------------------------------------
+
+    def run_slot(
+        self, uplink_signal_fn: Optional[UplinkSignalFn] = None
+    ) -> SlotReport:
+        """Advance every DU one slot and exchange all fronthaul packets."""
+        if not self._dus:
+            raise RuntimeError("no DUs in the network")
+        absolute_slot = next(iter(self._dus.values())).clock.current_slot
+        report = SlotReport(absolute_slot=absolute_slot)
+
+        downlink: List[FronthaulPacket] = []
+        for du in self._dus.values():
+            downlink.extend(du.advance_slot())
+        # Fronthaul timing windows close C-plane transmission before
+        # U-plane transmission for a symbol, so across *all* DUs every
+        # C-plane message precedes the U-plane data — the ordering the
+        # RU-sharing middlebox's Algorithm 2 relies on.  Stable sort keeps
+        # per-DU sequence numbers in order.
+        downlink.sort(key=lambda packet: packet.is_uplane)
+        for packet in self._through_chain(downlink, uplink=False):
+            entry = self._rus.get(packet.eth.dst.to_int())
+            if entry is None:
+                report.undeliverable += 1
+                continue
+            entry[0].receive(packet)
+            report.dl_packets += 1
+
+        uplink: List[FronthaulPacket] = []
+        for ru, position in self._rus.values():
+            n_sc = ru.config.num_prb * SAMPLES_PER_PRB
+            for time, port in ru.pending_uplink_symbols():
+                air = None
+                if uplink_signal_fn is not None:
+                    air = uplink_signal_fn(ru, position, time, port)
+                uplink.extend(ru.build_uplink(time, port, air_iq=air))
+            ru._ul_requests.clear()
+        for packet in self._through_chain(uplink, uplink=True):
+            du = self._dus.get(packet.eth.dst.to_int())
+            if du is None:
+                report.undeliverable += 1
+                continue
+            du.receive(packet)
+            report.ul_packets += 1
+
+        self.reports.append(report)
+        return report
+
+    def run(
+        self,
+        n_slots: int,
+        uplink_signal_fn: Optional[UplinkSignalFn] = None,
+    ) -> List[SlotReport]:
+        return [self.run_slot(uplink_signal_fn) for _ in range(n_slots)]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.fronthaul.ethernet import MacAddress
+from repro.ran.cell import CellConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def du_mac():
+    return MacAddress.from_string("02:00:00:00:00:01")
+
+
+@pytest.fixture
+def ru_mac():
+    return MacAddress.from_string("02:00:00:00:10:01")
+
+
+@pytest.fixture
+def cell_40mhz():
+    return CellConfig(pci=1, bandwidth_hz=40_000_000, n_antennas=2,
+                      max_dl_layers=2)
+
+
+@pytest.fixture
+def cell_100mhz():
+    return CellConfig(pci=2)
+
+
+def random_prb_samples(rng, n_prbs: int, amplitude: int = 4000) -> np.ndarray:
+    """Random int16 IQ samples shaped (n_prbs, 24)."""
+    return rng.integers(-amplitude, amplitude, size=(n_prbs, 24)).astype(
+        np.int16
+    )

@@ -1,0 +1,247 @@
+"""Tests for the four RANBooster actions (A1-A4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import (
+    ActionContext,
+    ActionKind,
+    ExecLocation,
+    PacketCache,
+)
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import SymbolTime
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+
+from tests.conftest import random_prb_samples
+
+
+@pytest.fixture
+def ctx():
+    return ActionContext(PacketCache())
+
+
+def make_uplane(rng, du_mac, ru_mac, n_prbs=6, start_prb=0,
+                direction=Direction.UPLINK, amplitude=4000):
+    section = UPlaneSection.from_samples(
+        section_id=0, start_prb=start_prb,
+        samples=random_prb_samples(rng, n_prbs, amplitude),
+    )
+    message = UPlaneMessage(
+        direction=direction, time=SymbolTime(0, 0, 0, 5), sections=[section]
+    )
+    return make_packet(du_mac, ru_mac, message)
+
+
+def make_cplane(du_mac, ru_mac, num_prb=106):
+    message = CPlaneMessage(
+        direction=Direction.DOWNLINK,
+        time=SymbolTime(0, 0, 0, 0),
+        sections=[CPlaneSection(section_id=0, start_prb=0, num_prb=num_prb)],
+    )
+    return make_packet(du_mac, ru_mac, message)
+
+
+class TestA1Routing:
+    def test_forward_rewrites_dst(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        new_dst = MacAddress.from_int(0xBEEF)
+        ctx.forward(packet, dst=new_dst)
+        assert len(ctx.emissions) == 1
+        assert ctx.emissions[0].packet.eth.dst == new_dst
+        assert ctx.trace.kinds() == [ActionKind.ROUTE]
+
+    def test_forward_without_rewrite(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        ctx.forward(packet)
+        assert ctx.emissions[0].packet.eth.dst == ru_mac
+
+    def test_drop_emits_nothing(self, ctx, rng, du_mac, ru_mac):
+        ctx.drop(make_uplane(rng, du_mac, ru_mac))
+        assert ctx.emissions == []
+        assert ctx.trace.kinds() == [ActionKind.DROP]
+
+    def test_route_runs_in_kernel(self, ctx, rng, du_mac, ru_mac):
+        ctx.forward(make_uplane(rng, du_mac, ru_mac))
+        assert not ctx.trace.needs_userspace()
+
+
+class TestA2Replication:
+    def test_replicate_count(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        copies = ctx.replicate(packet, 3)
+        assert len(copies) == 3
+
+    def test_copies_are_independent(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        copies = ctx.replicate(packet, 1)
+        copies[0].eth.dst = MacAddress.from_int(1)
+        assert packet.eth.dst != copies[0].eth.dst
+
+    def test_cost_scales_with_copies(self, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        cheap = ActionContext(PacketCache())
+        cheap.replicate(packet, 1)
+        costly = ActionContext(PacketCache())
+        costly.replicate(packet, 4)
+        assert costly.trace.total_ns() == pytest.approx(
+            4 * cheap.trace.total_ns()
+        )
+
+    def test_negative_copies_rejected(self, ctx, rng, du_mac, ru_mac):
+        with pytest.raises(ValueError):
+            ctx.replicate(make_uplane(rng, du_mac, ru_mac), -1)
+
+
+class TestA3Caching:
+    def test_put_and_pop(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        key = packet.flow_key()
+        assert ctx.cache_put(key, packet, tag="ru1") == 1
+        assert ctx.cache_put(key, packet.clone(), tag="ru2") == 2
+        entries = ctx.cache_pop_all(key)
+        assert [tag for tag, _ in entries] == ["ru1", "ru2"]
+        assert ctx.cache_pop_all(key) == []
+
+    def test_occupancy_and_tags(self, rng, du_mac, ru_mac):
+        cache = PacketCache()
+        packet = make_uplane(rng, du_mac, ru_mac)
+        cache.put("k", packet, tag="a")
+        assert cache.occupancy("k") == 1
+        assert cache.tags("k") == ["a"]
+        assert cache.occupancy("other") == 0
+
+    def test_peek_does_not_remove(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        ctx.cache_put("k", packet)
+        assert len(ctx.cache_peek("k")) == 1
+        assert len(ctx.cache_peek("k")) == 1
+
+    def test_len_counts_all_keys(self, rng, du_mac, ru_mac):
+        cache = PacketCache()
+        cache.put("a", make_uplane(rng, du_mac, ru_mac))
+        cache.put("b", make_uplane(rng, du_mac, ru_mac))
+        cache.put("b", make_uplane(rng, du_mac, ru_mac))
+        assert len(cache) == 3
+
+    def test_caching_needs_userspace(self, ctx, rng, du_mac, ru_mac):
+        ctx.cache_put("k", make_uplane(rng, du_mac, ru_mac))
+        assert ctx.trace.needs_userspace()
+
+
+class TestA4HeaderModification:
+    def test_set_ru_port(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        ctx.set_ru_port(packet, 3)
+        assert packet.eaxc.ru_port == 3
+        assert ActionKind.HEADER_MODIFY in ctx.trace.kinds()
+
+    def test_set_cplane_num_prb(self, ctx, du_mac, ru_mac):
+        packet = make_cplane(du_mac, ru_mac, num_prb=106)
+        ctx.set_cplane_num_prb(packet, 273)
+        assert packet.message.sections[0].num_prb == 273
+        assert packet.message.sections[0].start_prb == 0
+
+    def test_num_prb_widening_rejects_uplane(self, ctx, rng, du_mac, ru_mac):
+        with pytest.raises(ValueError):
+            ctx.set_cplane_num_prb(make_uplane(rng, du_mac, ru_mac), 273)
+
+    def test_set_section_fields(self, ctx, du_mac, ru_mac):
+        packet = make_cplane(du_mac, ru_mac)
+        ctx.set_section_fields(packet, section_id=42, beam_id=7)
+        assert packet.message.sections[0].section_id == 42
+        assert packet.message.sections[0].beam_id == 7
+
+    def test_set_unknown_field_raises(self, ctx, du_mac, ru_mac):
+        with pytest.raises(AttributeError):
+            ctx.set_section_fields(make_cplane(du_mac, ru_mac), bogus=1)
+
+    def test_header_modify_stays_in_kernel(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        ctx.set_ru_port(packet, 1)
+        ctx.forward(packet)
+        assert not ctx.trace.needs_userspace()
+
+
+class TestA4IqOperations:
+    def test_read_exponents(self, ctx, rng, du_mac, ru_mac):
+        packet = make_uplane(rng, du_mac, ru_mac)
+        exponents = ctx.read_exponents(packet.message.sections[0])
+        assert len(exponents) == 6
+        assert ActionKind.READ_EXPONENTS in ctx.trace.kinds()
+        assert not ctx.trace.needs_userspace()
+
+    def test_merge_iq_sums_samples(self, ctx, rng, du_mac, ru_mac):
+        a = make_uplane(rng, du_mac, ru_mac).message.sections[0]
+        b = make_uplane(rng, du_mac, ru_mac).message.sections[0]
+        merged = ctx.merge_iq([a, b])
+        expected = a.iq_samples().astype(int) + b.iq_samples().astype(int)
+        result = merged.iq_samples().astype(int)
+        # Equal up to the recompression quantization step.
+        step = 1 << int(merged.exponents().max())
+        assert np.abs(result - expected).max() <= step
+
+    def test_merge_iq_saturates(self, ctx, rng, du_mac, ru_mac):
+        big = np.full((2, 24), 30000, dtype=np.int16)
+        section = UPlaneSection.from_samples(0, 0, big)
+        merged = ctx.merge_iq([section, section])
+        assert merged.iq_samples().max() <= 32767
+
+    def test_merge_misaligned_rejected(self, ctx, rng, du_mac, ru_mac):
+        a = make_uplane(rng, du_mac, ru_mac, start_prb=0).message.sections[0]
+        b = make_uplane(rng, du_mac, ru_mac, start_prb=6).message.sections[0]
+        with pytest.raises(ValueError):
+            ctx.merge_iq([a, b])
+
+    def test_merge_empty_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.merge_iq([])
+
+    def test_merge_cost_grows_with_operands(self, rng, du_mac, ru_mac):
+        sections = [
+            make_uplane(rng, du_mac, ru_mac).message.sections[0]
+            for _ in range(4)
+        ]
+        two = ActionContext(PacketCache())
+        two.merge_iq(sections[:2])
+        four = ActionContext(PacketCache())
+        four.merge_iq(sections)
+        assert four.trace.total_ns() > two.trace.total_ns()
+
+    def test_copy_prbs_aligned_moves_wire_bytes(self, ctx, rng, du_mac, ru_mac):
+        source = make_uplane(rng, du_mac, ru_mac, n_prbs=4).message.sections[0]
+        dest = UPlaneSection.from_samples(
+            1, 0, np.zeros((12, 24), dtype=np.int16)
+        )
+        result = ctx.copy_prbs(source, dest, source_start_prb=0,
+                               dest_start_prb=5, num_prb=4)
+        assert result.prb_payload(5) == source.prb_payload(0)
+        assert result.prb_payload(8) == source.prb_payload(3)
+        # Non-copied PRBs untouched.
+        assert result.prb_payload(0) == dest.prb_payload(0)
+
+    def test_copy_prbs_aligned_bounds_checked(self, ctx, rng, du_mac, ru_mac):
+        source = make_uplane(rng, du_mac, ru_mac, n_prbs=4).message.sections[0]
+        dest = UPlaneSection.from_samples(
+            1, 0, np.zeros((6, 24), dtype=np.int16)
+        )
+        with pytest.raises(ValueError):
+            ctx.copy_prbs(source, dest, 0, 4, 4)
+
+    def test_copy_prbs_misaligned_costs_more(self, rng, du_mac, ru_mac):
+        source = make_uplane(rng, du_mac, ru_mac, n_prbs=4).message.sections[0]
+        dest = UPlaneSection.from_samples(
+            1, 0, np.zeros((12, 24), dtype=np.int16)
+        )
+        aligned = ActionContext(PacketCache())
+        aligned.copy_prbs(source, dest, 0, 5, 4, aligned=True)
+        misaligned = ActionContext(PacketCache())
+        misaligned.copy_prbs(source, dest, 0, 5, 4, aligned=False)
+        assert misaligned.trace.total_ns() > 3 * aligned.trace.total_ns()
+
+    def test_iq_operations_need_userspace(self, ctx, rng, du_mac, ru_mac):
+        section = make_uplane(rng, du_mac, ru_mac).message.sections[0]
+        ctx.decompress(section)
+        assert ctx.trace.needs_userspace()

@@ -1,0 +1,118 @@
+"""Middlebox template tests."""
+
+import pytest
+
+from repro.core.actions import ActionContext
+from repro.core.middlebox import Middlebox, classify
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import SymbolTime
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+
+from tests.conftest import random_prb_samples
+
+
+def uplane(rng, du_mac, ru_mac, direction=Direction.DOWNLINK):
+    section = UPlaneSection.from_samples(
+        0, 0, random_prb_samples(rng, 4)
+    )
+    return make_packet(
+        du_mac, ru_mac,
+        UPlaneMessage(direction=direction, time=SymbolTime(0, 0, 0, 0),
+                      sections=[section]),
+    )
+
+
+def cplane(du_mac, ru_mac, direction=Direction.DOWNLINK):
+    return make_packet(
+        du_mac, ru_mac,
+        CPlaneMessage(direction=direction, time=SymbolTime(0, 0, 0, 0),
+                      sections=[CPlaneSection(0, 0, 106)]),
+    )
+
+
+class DroppingBox(Middlebox):
+    app_name = "dropper"
+
+    def on_uplane(self, ctx, packet):
+        ctx.drop(packet)
+
+
+class TestPassthrough:
+    def test_default_forwards_everything(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        for packet in (uplane(rng, du_mac, ru_mac), cplane(du_mac, ru_mac)):
+            result = box.process(packet)
+            assert len(result.emissions) == 1
+            assert result.emissions[0].packet is packet
+        assert box.stats.rx_packets == 2
+        assert box.stats.tx_packets == 2
+        assert box.stats.dropped_packets == 0
+
+    def test_empty_subclass_is_valid(self):
+        class Nothing(Middlebox):
+            app_name = "noop"
+
+        assert Nothing().name == "noop"
+
+    def test_named_instance(self):
+        assert Middlebox(name="my-box").name == "my-box"
+
+
+class TestProcessing:
+    def test_drop_counted(self, rng, du_mac, ru_mac):
+        box = DroppingBox()
+        result = box.process(uplane(rng, du_mac, ru_mac))
+        assert result.emissions == []
+        assert box.stats.dropped_packets == 1
+
+    def test_traces_accumulate(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        for _ in range(3):
+            box.process(uplane(rng, du_mac, ru_mac))
+        assert len(box.traces) == 3
+        assert len(box.trace_wire_bytes) == 3
+        assert box.stats.processing_ns_total > 0
+
+    def test_traffic_classification(self, rng, du_mac, ru_mac):
+        assert classify(uplane(rng, du_mac, ru_mac)) == "DL U-Plane"
+        assert classify(
+            uplane(rng, du_mac, ru_mac, Direction.UPLINK)
+        ) == "UL U-Plane"
+        assert classify(cplane(du_mac, ru_mac)) == "DL C-Plane"
+        assert classify(
+            cplane(du_mac, ru_mac, Direction.UPLINK)
+        ) == "UL C-Plane"
+
+    def test_traces_by_class(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        box.process(uplane(rng, du_mac, ru_mac))
+        box.process(cplane(du_mac, ru_mac))
+        assert set(box.traces_by_class) == {"DL U-Plane", "DL C-Plane"}
+
+    def test_process_burst_flattens(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        packets = [uplane(rng, du_mac, ru_mac) for _ in range(4)]
+        assert len(box.process_burst(packets)) == 4
+
+    def test_reset_traces(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        box.process(uplane(rng, du_mac, ru_mac))
+        box.reset_traces()
+        assert box.traces == []
+        assert box.traces_by_class == {}
+        assert box.stats.processing_ns_total == 0.0
+
+    def test_byte_accounting(self, rng, du_mac, ru_mac):
+        box = Middlebox()
+        packet = uplane(rng, du_mac, ru_mac)
+        box.process(packet)
+        assert box.stats.rx_bytes == packet.wire_size
+        assert box.stats.tx_bytes == packet.wire_size
+
+    def test_telemetry_and_management_exist(self):
+        box = Middlebox()
+        box.telemetry.publish("t", 1)
+        assert box.telemetry.latest("t").payload == 1
+        assert box.management.owner == box.name

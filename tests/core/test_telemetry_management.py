@@ -1,0 +1,113 @@
+"""Telemetry bus and management interface tests."""
+
+import pytest
+
+from repro.core.management import (
+    ForwardingRule,
+    ManagementInterface,
+    ValidationError,
+)
+from repro.core.telemetry import TelemetryBus
+from repro.fronthaul.ethernet import MacAddress
+
+
+class TestTelemetryBus:
+    def test_publish_and_latest(self):
+        bus = TelemetryBus()
+        bus.publish("util", 0.5, timestamp_ns=10)
+        bus.publish("util", 0.7, timestamp_ns=20)
+        assert bus.latest("util").payload == 0.7
+        assert [r.payload for r in bus.history("util")] == [0.5, 0.7]
+
+    def test_subscribe_callback(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe("util", lambda record: seen.append(record.payload))
+        bus.publish("util", 1)
+        bus.publish("other", 2)
+        assert seen == [1]
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(KeyError):
+            TelemetryBus().latest("nothing")
+
+    def test_history_bounded(self):
+        bus = TelemetryBus(history_limit=10)
+        for i in range(25):
+            bus.publish("t", i)
+        history = bus.history("t")
+        assert len(history) == 10
+        assert history[-1].payload == 24
+
+    def test_topics_listing(self):
+        bus = TelemetryBus()
+        bus.publish("b", 1)
+        bus.publish("a", 1)
+        assert bus.topics() == ["a", "b"]
+
+    def test_source_attribution(self):
+        bus = TelemetryBus()
+        bus.publish("t", 1, source="das-1")
+        assert bus.latest("t").source == "das-1"
+
+
+class TestManagementInterface:
+    def test_declare_get_set(self):
+        mgmt = ManagementInterface("box")
+        mgmt.declare("threshold", 2)
+        assert mgmt.get("threshold") == 2
+        mgmt.set("threshold", 5)
+        assert mgmt.get("threshold") == 5
+
+    def test_unknown_key_raises(self):
+        mgmt = ManagementInterface()
+        with pytest.raises(KeyError):
+            mgmt.get("nope")
+        with pytest.raises(KeyError):
+            mgmt.set("nope", 1)
+
+    def test_validator_rejects(self):
+        mgmt = ManagementInterface()
+        mgmt.declare("threshold", 2, validator=lambda v: 0 <= v <= 15)
+        with pytest.raises(ValidationError):
+            mgmt.set("threshold", 99)
+        assert mgmt.get("threshold") == 2
+
+    def test_change_listener(self):
+        mgmt = ManagementInterface()
+        mgmt.declare("k", 1)
+        changes = []
+        mgmt.on_change(lambda key, value: changes.append((key, value)))
+        mgmt.set("k", 2)
+        assert changes == [("k", 2)]
+
+    def test_keys_sorted(self):
+        mgmt = ManagementInterface()
+        mgmt.declare("b", 1)
+        mgmt.declare("a", 1)
+        assert mgmt.keys() == ["a", "b"]
+
+    def test_forwarding_rules(self):
+        mgmt = ManagementInterface()
+        old = MacAddress.from_int(1)
+        new = MacAddress.from_int(2)
+        mgmt.add_rule(ForwardingRule(match_dst=old, new_dst=new))
+        assert mgmt.resolve(old) == new
+        assert mgmt.resolve(new) == new  # identity when no match
+
+    def test_disabled_rule_skipped(self):
+        mgmt = ManagementInterface()
+        old = MacAddress.from_int(1)
+        mgmt.add_rule(
+            ForwardingRule(match_dst=old, new_dst=MacAddress.from_int(2),
+                           enabled=False)
+        )
+        assert mgmt.resolve(old) == old
+
+    def test_clear_rules(self):
+        mgmt = ManagementInterface()
+        mgmt.add_rule(
+            ForwardingRule(MacAddress.from_int(1), MacAddress.from_int(2))
+        )
+        mgmt.clear_rules()
+        assert mgmt.rules == []

@@ -1,0 +1,261 @@
+"""Experiment runners reproduce the paper's qualitative results.
+
+One test per table/figure, asserting the *shape* claims of the evaluation
+section (who wins, by roughly what factor, where crossovers fall) at
+reduced experiment sizes; the benchmarks run the full versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.appendix import run_cost_analysis, run_sharing_math
+from repro.eval.fig10 import run_fig10a, run_fig10b, run_fig10c
+from repro.eval.fig11 import run_fig11
+from repro.eval.fig12 import run_fig12
+from repro.eval.fig13 import run_fig13
+from repro.eval.fig14 import run_fig14
+from repro.eval.fig15 import run_fig15a, run_fig15b
+from repro.eval.fig16 import run_fig16
+from repro.eval.table2 import run_table2
+
+
+class TestFig10a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10a()
+
+    def test_das_matches_baseline(self, result):
+        """DAS throughput equals the single-cell ideal (Figure 10a)."""
+        assert result.das_simultaneous_dl_mbps == pytest.approx(
+            result.baseline_dl_mbps, rel=0.05
+        )
+        for dl in result.das_individual_dl_mbps:
+            assert dl == pytest.approx(result.baseline_dl_mbps, rel=0.05)
+
+    def test_uplink_also_matches(self, result):
+        assert result.das_simultaneous_ul_mbps == pytest.approx(
+            result.baseline_ul_mbps, rel=0.1
+        )
+
+    def test_upper_floors_cannot_attach_to_single_cell(self, result):
+        assert result.upper_floor_attach_failures == 4
+
+    def test_absolute_band(self, result):
+        """~900 Mbps DL / tens of Mbps UL for 100 MHz 4x4."""
+        assert 800 < result.baseline_dl_mbps < 1000
+        assert 40 < result.baseline_ul_mbps < 90
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2()
+
+    def test_dmimo_matches_baselines(self, result):
+        for baseline, distributed in (
+            ("Single RU - 2 antennas", "Two RUs - 1 antenna each (RANBooster)"),
+            ("Single RU - 4 antennas", "Two RUs - 2 antennas each (RANBooster)"),
+        ):
+            assert result.row(distributed).dl_mbps == pytest.approx(
+                result.row(baseline).dl_mbps, rel=0.05
+            )
+
+    def test_rank_indicators(self, result):
+        assert result.row("Single RU - 2 antennas").rank == 2
+        assert result.row("Two RUs - 1 antenna each (RANBooster)").rank == 2
+        assert result.row("Single RU - 4 antennas").rank == 4
+        assert result.row("Two RUs - 2 antennas each (RANBooster)").rank == 4
+
+    def test_absolute_bands(self, result):
+        """653 / 898 Mbps in the paper; the model lands within 10%."""
+        assert result.row("Single RU - 2 antennas").dl_mbps == pytest.approx(
+            653, rel=0.1
+        )
+        assert result.row("Single RU - 4 antennas").dl_mbps == pytest.approx(
+            898, rel=0.1
+        )
+
+    def test_uplink_unaffected(self, result):
+        uls = [row.ul_mbps for row in result.rows]
+        assert max(uls) - min(uls) < 5
+
+
+class TestFig10b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10b()
+
+    def test_shared_equals_dedicated(self, result):
+        for name in ("A", "B"):
+            assert result.shared_dl_mbps[name] == pytest.approx(
+                result.dedicated_dl_mbps, rel=0.05
+            )
+            assert result.shared_ul_mbps[name] == pytest.approx(
+                result.dedicated_ul_mbps, rel=0.1
+            )
+
+    def test_absolute_band(self, result):
+        """~330 Mbps DL / ~25 Mbps UL for the 40 MHz cells."""
+        assert 300 < result.dedicated_dl_mbps < 380
+        assert 15 < result.dedicated_ul_mbps < 35
+
+
+class TestFig10c:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10c(loads_mbps=(0, 200, 400, 700), n_slots=20)
+
+    def test_estimates_track_ground_truth(self, result):
+        assert result.max_error() < 0.05
+
+    def test_utilization_monotonic_in_load(self, result):
+        series = [p.estimated_utilization for p in result.downlink]
+        assert series == sorted(series)
+
+    def test_idle_cell_near_zero(self, result):
+        assert result.downlink[0].estimated_utilization < 0.05
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig11(step_m=4.0)
+
+    def test_o1_spectrum_limited(self, result):
+        low, mean, high = result.o1.summary()
+        assert high < 250  # ~200 Mbps cap from 25 MHz
+
+    def test_o2_interference_dips(self, result):
+        low, mean, high = result.o2.summary()
+        assert high > 600  # good spots reach near the offered load
+        assert low < 450  # but several locations dip hard
+
+    def test_o3_das_best_everywhere(self, result):
+        low, mean, high = result.o3.summary()
+        assert low > 650  # ~700 Mbps across the whole floor
+        assert result.o3.mbps().min() >= result.o1.mbps().max()
+        assert result.o3.mbps().mean() >= result.o2.mbps().mean()
+
+
+class TestFig12:
+    def test_both_mnos_350_everywhere(self):
+        result = run_fig12(step_m=6.0)
+        for series in (result.mno1_walk_mbps, result.mno2_walk_mbps):
+            arr = np.array(series)
+            assert arr.min() > 300
+            assert arr.mean() == pytest.approx(350, rel=0.1)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13(step_m=4.0)
+
+    def test_das_uniform_siso(self, result):
+        das = np.array(result.das_walk_mbps)
+        assert das.std() / das.mean() < 0.1  # uniform coverage
+        assert 200 < das.mean() < 320  # ~250 Mbps
+
+    def test_dmimo_2_to_3x(self, result):
+        factors = np.array(result.improvement_factors())
+        assert factors.min() > 1.4
+        assert 2.0 < factors.mean() < 3.2
+        assert factors.max() < 3.8
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14()
+
+    def test_power_savings(self, result):
+        a = result.per_floor_cells.power_w
+        b = result.single_cell_chain.power_w
+        assert 350 < a < 430  # ~400 W
+        assert 160 < b < 210  # ~180 W
+        assert (a - b) / a > 0.45
+
+    def test_per_floor_throughput_tradeoff(self, result):
+        per_floor_a = np.mean(result.per_floor_cells.per_floor_dl_mbps)
+        per_floor_b = np.mean(result.single_cell_chain.per_floor_dl_mbps)
+        peak_b = np.mean(result.single_cell_chain.per_floor_peak_mbps)
+        assert per_floor_a > 500  # ~650 Mbps per floor with 5 cells
+        assert per_floor_b < per_floor_a / 3  # shared single cell
+        assert peak_b > 500  # instantaneous rate still reaches cell rate
+
+
+class TestFig15:
+    def test_scalability_crossover_at_5_rus(self):
+        result = run_fig15a()
+        by_rus = {p.n_rus: p for p in result.points}
+        assert by_rus[4].cores_required == 1
+        assert by_rus[5].cores_required == 2
+
+    def test_traffic_linear_and_below_nic(self):
+        result = run_fig15a()
+        egress = [p.egress_gbps for p in result.points]
+        diffs = np.diff(egress)
+        assert np.allclose(diffs, diffs[0], rtol=0.05)  # linear
+        assert max(egress) < 100  # below the 100GbE NIC
+
+    def test_latency_breakdown_shape(self):
+        result = run_fig15b(ru_counts=(2, 4), n_slots=5)
+        for breakdown in result.breakdowns:
+            # DL processing under 300 ns in all cases.
+            assert breakdown.percentile("DL C-Plane", 99) < 300
+            assert breakdown.percentile("DL U-Plane", 99) < 300
+            # Uplink merge tail in the microseconds, growing with RUs.
+            assert breakdown.percentile("UL U-Plane", 99) > 2_000
+        two = result.breakdowns[0].percentile("UL U-Plane", 99)
+        four = result.breakdowns[-1].percentile("UL U-Plane", 99)
+        assert four > two
+
+    def test_ul_majority_is_cheap_caching(self):
+        result = run_fig15b(ru_counts=(4,), n_slots=5)
+        values = np.array(result.breakdowns[0].by_class["UL U-Plane"])
+        assert np.mean(values < 300) >= 0.6  # ~75% in the paper
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig16(n_slots=20)
+
+    def test_dpdk_always_100(self, result):
+        for app in result.dpdk:
+            for condition, value in result.dpdk[app].items():
+                assert value == 1.0
+
+    def test_xdp_traffic_proportional(self, result):
+        for app in result.xdp:
+            idle = result.xdp[app]["Idle"]
+            attached = result.xdp[app]["UE Attached"]
+            traffic = result.xdp[app]["Traffic"]
+            assert idle < attached < traffic
+
+    def test_das_25_to_30_points_above_dmimo(self, result):
+        gap = result.xdp["das"]["Traffic"] - result.xdp["dmimo"]["Traffic"]
+        assert 0.15 < gap < 0.40
+
+
+class TestAppendix:
+    def test_sharing_math(self):
+        result = run_sharing_math()
+        assert result.du_offsets_prb == [0.0, 106.0]
+        assert result.du_centers_hz[0] == pytest.approx(3.42994e9, rel=1e-6)
+
+    def test_cost_savings_41_percent(self):
+        result = run_cost_analysis()
+        assert result.savings_fraction == pytest.approx(0.41, abs=0.03)
+        assert result.ranbooster_usd < result.conventional_usd
+
+
+class TestMobility:
+    def test_handover_free_distributed_cells(self):
+        from repro.eval.mobility import run_mobility
+
+        result = run_mobility(step_m=2.0)
+        assert result.multi_cell.handovers > 0
+        assert result.das.handovers == 0
+        assert result.dmimo.handovers == 0
+        assert result.multi_cell.interruption_fraction > 0

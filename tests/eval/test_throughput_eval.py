@@ -1,0 +1,173 @@
+"""Analytic network evaluator tests."""
+
+import pytest
+
+from repro.eval.throughput import DeployedCell, UePlacement, evaluate_network
+from repro.phy.channel import ChannelModel
+from repro.phy.geometry import FloorPlan, Position
+from repro.ran.cell import CellConfig
+from repro.ran.ue import UserEquipment
+
+
+@pytest.fixture
+def plan():
+    return FloorPlan()
+
+
+@pytest.fixture
+def channel():
+    return ChannelModel(seed=99)
+
+
+def make_ue(channel, position, suffix="001"):
+    return UserEquipment(f"001010000000{suffix}", position, channel=channel)
+
+
+class TestDeployedCell:
+    def test_mode_validation(self, plan):
+        with pytest.raises(ValueError):
+            DeployedCell("x", CellConfig(pci=1), plan.ru_positions(0), [4] * 4,
+                         mode="mesh")
+
+    def test_single_mode_needs_one_ru(self, plan):
+        with pytest.raises(ValueError):
+            DeployedCell("x", CellConfig(pci=1), plan.ru_positions(0), [4] * 4,
+                         mode="single")
+
+    def test_overlap_detection(self, plan):
+        ru = plan.ru_positions(0)[0]
+        full = DeployedCell("a", CellConfig(pci=1), [ru], [4])
+        other_band = DeployedCell(
+            "b", CellConfig(pci=2, center_frequency_hz=3.7e9), [ru], [4]
+        )
+        co_channel = DeployedCell("c", CellConfig(pci=3), [ru], [4])
+        assert not full.overlaps(other_band)
+        assert full.overlaps(co_channel)
+
+    def test_adjacent_carved_slices_do_not_overlap(self, plan):
+        from repro.fronthaul.spectrum import PrbGrid, split_ru_spectrum
+
+        ru = plan.ru_positions(0)[0]
+        grid_a, grid_b = split_ru_spectrum(PrbGrid(3.46e9, 273), [106, 106])
+        cells = [
+            DeployedCell(
+                name,
+                CellConfig(pci=i, bandwidth_hz=40_000_000,
+                           center_frequency_hz=grid.center_frequency_hz),
+                [ru], [4],
+            )
+            for i, (name, grid) in enumerate([("a", grid_a), ("b", grid_b)])
+        ]
+        assert not cells[0].overlaps(cells[1])
+
+
+class TestEvaluateNetwork:
+    def test_capacity_bounds_throughput(self, plan, channel):
+        cell = DeployedCell("c", CellConfig(pci=1), [plan.ru_positions(0)[0]],
+                            [4])
+        ue = make_ue(channel, Position(14, 10, 0))
+        result = evaluate_network(
+            [cell], [UePlacement(ue, "c", dl_offered_mbps=10_000)]
+        )
+        entry = result.ue(ue.imsi)
+        assert entry.dl_mbps == pytest.approx(entry.dl_capacity_mbps)
+
+    def test_light_load_fully_served(self, plan, channel):
+        cell = DeployedCell("c", CellConfig(pci=1), [plan.ru_positions(0)[0]],
+                            [4])
+        ue = make_ue(channel, Position(14, 10, 0))
+        result = evaluate_network(
+            [cell], [UePlacement(ue, "c", dl_offered_mbps=50)]
+        )
+        assert result.ue(ue.imsi).dl_mbps == pytest.approx(50)
+
+    def test_cell_sharing_scales_down(self, plan, channel):
+        """Two saturating UEs split the cell roughly evenly."""
+        ru = plan.ru_positions(0)[0]
+        cell = DeployedCell("c", CellConfig(pci=1), [ru], [4])
+        ues = [
+            make_ue(channel, Position(ru.x + dx, ru.y, 0), suffix=f"10{i}")
+            for i, dx in enumerate((2.0, -2.0))
+        ]
+        result = evaluate_network(
+            [cell],
+            [UePlacement(ue, "c", dl_offered_mbps=5_000) for ue in ues],
+        )
+        total = result.total_dl_mbps()
+        shares = [r.dl_mbps / total for r in result.ues]
+        assert all(0.3 < share < 0.7 for share in shares)
+        assert total <= max(r.dl_capacity_mbps for r in result.ues) * 1.01
+
+    def test_interference_coupling_reduces_capacity(self, plan, channel):
+        rus = plan.ru_positions(0)
+        cells = [
+            DeployedCell(f"c{i}", CellConfig(pci=i + 1), [rus[i]], [4])
+            for i in range(2)
+        ]
+        boundary = Position((rus[0].x + rus[1].x) / 2, rus[0].y, 0)
+        victim = make_ue(channel, boundary, suffix="201")
+        aggressor = make_ue(channel, Position(rus[1].x + 1, rus[1].y, 0),
+                            suffix="202")
+        quiet = evaluate_network(
+            cells, [UePlacement(victim, "c0", dl_offered_mbps=2_000)]
+        )
+        loaded = evaluate_network(
+            cells,
+            [
+                UePlacement(victim, "c0", dl_offered_mbps=2_000),
+                UePlacement(aggressor, "c1", dl_offered_mbps=2_000),
+            ],
+        )
+        assert (
+            loaded.ue(victim.imsi).dl_capacity_mbps
+            < quiet.ue(victim.imsi).dl_capacity_mbps
+        )
+
+    def test_non_overlapping_cells_do_not_interfere(self, plan, channel):
+        rus = plan.ru_positions(0)
+        cells = [
+            DeployedCell(
+                f"c{i}",
+                CellConfig(pci=i + 1, bandwidth_hz=40_000_000,
+                           center_frequency_hz=3.40e9 + i * 50_000_000),
+                [rus[i]], [4],
+            )
+            for i in range(2)
+        ]
+        boundary = Position((rus[0].x + rus[1].x) / 2, rus[0].y, 0)
+        victim = make_ue(channel, boundary, suffix="301")
+        aggressor = make_ue(channel, Position(rus[1].x, rus[1].y + 1, 0),
+                            suffix="302")
+        alone = evaluate_network(
+            cells, [UePlacement(victim, "c0", dl_offered_mbps=2_000)]
+        )
+        both = evaluate_network(
+            cells,
+            [
+                UePlacement(victim, "c0", dl_offered_mbps=2_000),
+                UePlacement(aggressor, "c1", dl_offered_mbps=2_000),
+            ],
+        )
+        assert both.ue(victim.imsi).dl_capacity_mbps == pytest.approx(
+            alone.ue(victim.imsi).dl_capacity_mbps, rel=0.01
+        )
+
+    def test_unknown_cell_rejected(self, plan, channel):
+        cell = DeployedCell("c", CellConfig(pci=1), [plan.ru_positions(0)[0]],
+                            [4])
+        ue = make_ue(channel, Position(10, 10, 0))
+        with pytest.raises(KeyError):
+            evaluate_network([cell], [UePlacement(ue, "ghost", 100)])
+
+    def test_activity_tracks_demand(self, plan, channel):
+        cell = DeployedCell("c", CellConfig(pci=1), [plan.ru_positions(0)[0]],
+                            [4])
+        ue = make_ue(channel, Position(14, 10, 0))
+        light = evaluate_network(
+            [cell], [UePlacement(ue, "c", dl_offered_mbps=90)]
+        )
+        heavy = evaluate_network(
+            [cell], [UePlacement(ue, "c", dl_offered_mbps=5_000)]
+        )
+        assert light.cell_activity["c"] < 0.5
+        assert heavy.cell_activity["c"] == pytest.approx(1.0)

@@ -1,0 +1,187 @@
+"""Block Floating Point compression tests (the Algorithm 1 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fronthaul.compression import (
+    BFP_COMP_METH,
+    NO_COMP_METH,
+    SAMPLES_PER_PRB,
+    BfpCompressor,
+    CompressionConfig,
+)
+
+
+class TestCompressionConfig:
+    def test_byte_roundtrip(self):
+        config = CompressionConfig(iq_width=9)
+        assert CompressionConfig.from_byte(config.to_byte()) == config
+
+    def test_uncompressed_byte_roundtrip(self):
+        config = CompressionConfig(iq_width=16, comp_meth=NO_COMP_METH)
+        assert CompressionConfig.from_byte(config.to_byte()) == config
+
+    def test_prb_payload_bytes_bfp9(self):
+        # Figure 2: 9-bit mantissas -> 27 bytes of IQ + 1 exponent byte.
+        assert CompressionConfig(iq_width=9).prb_payload_bytes() == 28
+
+    def test_prb_payload_bytes_bfp14(self):
+        assert CompressionConfig(iq_width=14).prb_payload_bytes() == 1 + 42
+
+    def test_prb_payload_bytes_uncompressed(self):
+        config = CompressionConfig(iq_width=16, comp_meth=NO_COMP_METH)
+        assert config.prb_payload_bytes() == 48
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(iq_width=1)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(comp_meth=5)
+
+
+class TestBfpExponents:
+    def test_idle_prb_has_zero_exponent(self):
+        """Near-zero samples compress with exponent 0 — what Algorithm 1
+        keys on to mark PRBs idle."""
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        quiet = np.full((3, 24), 2, dtype=np.int16)
+        assert (compressor.exponents_for(quiet) == 0).all()
+
+    def test_loud_prb_has_positive_exponent(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        loud = np.full((3, 24), 8000, dtype=np.int16)
+        assert (compressor.exponents_for(loud) > 0).all()
+
+    def test_exponent_scales_with_amplitude(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        amplitudes = [100, 1000, 8000, 30000]
+        exponents = [
+            compressor.exponents_for(
+                np.full((1, 24), amplitude, dtype=np.int16)
+            )[0]
+            for amplitude in amplitudes
+        ]
+        assert exponents == sorted(exponents)
+        assert exponents[-1] > exponents[0]
+
+    def test_exponent_exact_power_boundaries(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        # 255 fits in 9 bits (needs 9), 256 needs 10 -> exponent 1.
+        assert compressor.exponents_for(
+            np.full((1, 24), 255, dtype=np.int16))[0] == 0
+        assert compressor.exponents_for(
+            np.full((1, 24), 256, dtype=np.int16))[0] == 1
+
+    def test_negative_boundary(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        # -256 fits exactly in 9 bits two's complement.
+        assert compressor.exponents_for(
+            np.full((1, 24), -256, dtype=np.int16))[0] == 0
+        assert compressor.exponents_for(
+            np.full((1, 24), -257, dtype=np.int16))[0] == 1
+
+
+class TestBfpRoundtrip:
+    @pytest.mark.parametrize("iq_width", [6, 8, 9, 12, 14, 16])
+    def test_quantization_error_bounded(self, rng, iq_width):
+        compressor = BfpCompressor(CompressionConfig(iq_width=iq_width))
+        samples = rng.integers(-30000, 30000, size=(10, 24)).astype(np.int16)
+        restored = compressor.decompress(compressor.compress(samples), 10)
+        max_exponent = int(compressor.exponents_for(samples).max())
+        # Error bounded by the quantization step.
+        assert np.abs(
+            restored.astype(int) - samples.astype(int)
+        ).max() <= (1 << max_exponent)
+
+    def test_lossless_when_width_sufficient(self, rng):
+        compressor = BfpCompressor(CompressionConfig(iq_width=16))
+        samples = rng.integers(-30000, 30000, size=(5, 24)).astype(np.int16)
+        restored = compressor.decompress(compressor.compress(samples), 5)
+        assert (restored == samples).all()
+
+    def test_small_samples_lossless_at_width9(self, rng):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        samples = rng.integers(-255, 255, size=(8, 24)).astype(np.int16)
+        restored = compressor.decompress(compressor.compress(samples), 8)
+        assert (restored == samples).all()
+
+    def test_uncompressed_roundtrip(self, rng):
+        compressor = BfpCompressor(
+            CompressionConfig(iq_width=16, comp_meth=NO_COMP_METH)
+        )
+        samples = rng.integers(-30000, 30000, size=(4, 24)).astype(np.int16)
+        restored = compressor.decompress(compressor.compress(samples), 4)
+        assert (restored == samples).all()
+
+    def test_wire_size_matches_config(self, rng):
+        config = CompressionConfig(iq_width=9)
+        compressor = BfpCompressor(config)
+        samples = rng.integers(-4000, 4000, size=(7, 24)).astype(np.int16)
+        assert len(compressor.compress(samples)) == 7 * config.prb_payload_bytes()
+
+    def test_read_exponents_matches_compress(self, rng):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        samples = rng.integers(-20000, 20000, size=(6, 24)).astype(np.int16)
+        wire = compressor.compress(samples)
+        assert (
+            compressor.read_exponents(wire, 6)
+            == compressor.exponents_for(samples)
+        ).all()
+
+    def test_truncated_payload_raises(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        with pytest.raises(ValueError):
+            compressor.decompress(b"\x00" * 10, 2)
+
+    def test_read_exponents_rejects_uncompressed(self):
+        compressor = BfpCompressor(
+            CompressionConfig(iq_width=16, comp_meth=NO_COMP_METH)
+        )
+        with pytest.raises(ValueError):
+            compressor.read_exponents(b"\x00" * 48, 1)
+
+    def test_rejects_bad_shape(self):
+        compressor = BfpCompressor()
+        with pytest.raises(ValueError):
+            compressor.exponents_for(np.zeros((3, 12), dtype=np.int16))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        samples=hnp.arrays(
+            dtype=np.int16,
+            shape=(4, 2 * SAMPLES_PER_PRB),
+            elements=st.integers(min_value=-32768, max_value=32767),
+        ),
+        iq_width=st.sampled_from([8, 9, 12, 14]),
+    )
+    def test_roundtrip_error_bound_property(self, samples, iq_width):
+        """Property: quantization error never exceeds one mantissa step."""
+        compressor = BfpCompressor(CompressionConfig(iq_width=iq_width))
+        wire = compressor.compress(samples)
+        restored = compressor.decompress(wire, len(samples))
+        exponents = compressor.exponents_for(samples)
+        steps = (1 << exponents.astype(int))[:, None]
+        assert (
+            np.abs(restored.astype(int) - samples.astype(int)) <= steps
+        ).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        samples=hnp.arrays(
+            dtype=np.int16,
+            shape=(3, 2 * SAMPLES_PER_PRB),
+            elements=st.integers(min_value=-32768, max_value=32767),
+        )
+    )
+    def test_double_compression_is_idempotent(self, samples):
+        """Compressing an already-quantized signal is lossless — the DAS
+        merge path (decompress, sum, recompress) relies on this."""
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        once = compressor.decompress(compressor.compress(samples), 3)
+        twice = compressor.decompress(compressor.compress(once), 3)
+        assert (once == twice).all()

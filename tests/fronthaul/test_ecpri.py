@@ -1,0 +1,103 @@
+"""eCPRI header and eAxC id tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fronthaul.ecpri import (
+    ECPRI_HEADER_SIZE,
+    EAxCId,
+    EcpriHeader,
+    EcpriMessageType,
+)
+
+
+class TestEAxCId:
+    def test_int_roundtrip(self):
+        eaxc = EAxCId(du_port=3, band_sector=1, cc=2, ru_port=7)
+        assert EAxCId.from_int(eaxc.to_int()) == eaxc
+
+    def test_default_widths_layout(self):
+        # 4/4/4/4: du_port in the top nibble, ru_port in the bottom.
+        eaxc = EAxCId(du_port=0xA, band_sector=0xB, cc=0xC, ru_port=0xD)
+        assert eaxc.to_int() == 0xABCD
+
+    def test_custom_widths(self):
+        eaxc = EAxCId(du_port=1, band_sector=0, cc=0, ru_port=200,
+                      widths=(2, 2, 4, 8))
+        parsed = EAxCId.from_int(eaxc.to_int(), widths=(2, 2, 4, 8))
+        assert parsed.ru_port == 200
+        assert parsed.du_port == 1
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            EAxCId(du_port=0, widths=(4, 4, 4, 5))
+
+    def test_rejects_field_overflow(self):
+        with pytest.raises(ValueError):
+            EAxCId(du_port=16)  # 4-bit field
+
+    def test_with_ru_port_preserves_other_fields(self):
+        """The dMIMO remap: only the RU port changes."""
+        eaxc = EAxCId(du_port=5, band_sector=2, cc=1, ru_port=3)
+        remapped = eaxc.with_ru_port(0)
+        assert remapped.ru_port == 0
+        assert remapped.du_port == 5
+        assert remapped.band_sector == 2
+        assert remapped.cc == 1
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_int_roundtrip_property(self, value):
+        assert EAxCId.from_int(value).to_int() == value
+
+
+class TestEcpriHeader:
+    def make(self, **kwargs):
+        defaults = dict(
+            message_type=EcpriMessageType.IQ_DATA,
+            payload_size=1234,
+            eaxc=EAxCId(du_port=1, ru_port=2),
+            seq_id=77,
+        )
+        defaults.update(kwargs)
+        return EcpriHeader(**defaults)
+
+    def test_roundtrip(self):
+        header = self.make()
+        packed = header.pack()
+        assert len(packed) == ECPRI_HEADER_SIZE
+        parsed, consumed = EcpriHeader.unpack(packed)
+        assert consumed == ECPRI_HEADER_SIZE
+        assert parsed.message_type is EcpriMessageType.IQ_DATA
+        assert parsed.payload_size == 1234
+        assert parsed.eaxc == header.eaxc
+        assert parsed.seq_id == 77
+        assert parsed.e_bit is True
+        assert parsed.sub_seq_id == 0
+
+    def test_cplane_message_type(self):
+        parsed, _ = EcpriHeader.unpack(
+            self.make(message_type=EcpriMessageType.RT_CONTROL).pack()
+        )
+        assert parsed.message_type is EcpriMessageType.RT_CONTROL
+
+    def test_seq_id_wraps_byte(self):
+        parsed, _ = EcpriHeader.unpack(self.make(seq_id=300).pack())
+        assert parsed.seq_id == 300 % 256
+
+    def test_sub_seq_id_and_e_bit(self):
+        parsed, _ = EcpriHeader.unpack(
+            self.make(e_bit=False, sub_seq_id=5).pack()
+        )
+        assert parsed.e_bit is False
+        assert parsed.sub_seq_id == 5
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            EcpriHeader.unpack(b"\x10\x00\x00")
+
+    def test_bad_version_raises(self):
+        data = bytearray(self.make().pack())
+        data[0] = 0x20  # version 2
+        with pytest.raises(ValueError):
+            EcpriHeader.unpack(bytes(data))

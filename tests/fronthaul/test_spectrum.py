@@ -1,0 +1,121 @@
+"""PRB grid and Appendix A.1.1 alignment math tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fronthaul.spectrum import (
+    PrbGrid,
+    aligned_du_center_frequency,
+    prbs_for_bandwidth,
+    split_ru_spectrum,
+)
+
+
+class TestPrbsForBandwidth:
+    def test_standard_table(self):
+        assert prbs_for_bandwidth(100_000_000) == 273
+        assert prbs_for_bandwidth(40_000_000) == 106
+        assert prbs_for_bandwidth(25_000_000) == 65
+
+    def test_fallback_for_unusual_bandwidth(self):
+        prbs = prbs_for_bandwidth(10_000_000)
+        assert 0 < prbs < 30
+
+
+class TestPrbGrid:
+    def test_occupied_bandwidth(self):
+        grid = PrbGrid(3.46e9, 273)
+        assert grid.occupied_bandwidth_hz == 273 * 12 * 30_000
+
+    def test_prb0_frequency_centred(self):
+        grid = PrbGrid(3.46e9, 273)
+        low = grid.prb0_frequency_hz
+        high = grid.prb_start_frequency_hz(273)
+        assert (low + high) / 2 == pytest.approx(3.46e9)
+
+    def test_contains(self):
+        outer = PrbGrid(3.46e9, 273)
+        inner = PrbGrid(3.43e9, 106)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_offset_of_aligned(self):
+        ru = PrbGrid(3.46e9, 273)
+        du_center = aligned_du_center_frequency(ru, 106, prb_offset=10)
+        du = PrbGrid(du_center, 106)
+        assert ru.is_aligned_with(du)
+        assert ru.aligned_prb_offset(du) == 10
+
+    def test_misaligned_grid_detected(self):
+        """The Figure 6 right-hand case: a half-PRB shift."""
+        ru = PrbGrid(3.46e9, 273)
+        du_center = aligned_du_center_frequency(ru, 106, 10) + 180_000  # 0.5 PRB
+        du = PrbGrid(du_center, 106)
+        assert not ru.is_aligned_with(du)
+        with pytest.raises(ValueError):
+            ru.aligned_prb_offset(du)
+
+    def test_different_scs_rejected(self):
+        a = PrbGrid(3.46e9, 273, scs_hz=30_000)
+        b = PrbGrid(3.46e9, 100, scs_hz=15_000)
+        with pytest.raises(ValueError):
+            a.offset_of(b)
+
+    def test_rejects_nonpositive_prbs(self):
+        with pytest.raises(ValueError):
+            PrbGrid(3.46e9, 0)
+
+
+class TestAlignedDuCenterFrequency:
+    def test_paper_example(self):
+        """Sharing a 100 MHz RU at 3.46 GHz between two 40 MHz DUs gives
+        centers near 3.43 GHz and ~3.47 GHz (Section 6.2.3)."""
+        ru = PrbGrid(3.46e9, 273)
+        low, high = split_ru_spectrum(ru, [106, 106])
+        assert low.center_frequency_hz == pytest.approx(3.42994e9, rel=1e-6)
+        assert high.center_frequency_hz == pytest.approx(3.4681e9, rel=1e-6)
+
+    def test_rejects_overflow(self):
+        ru = PrbGrid(3.46e9, 273)
+        with pytest.raises(ValueError):
+            aligned_du_center_frequency(ru, 106, prb_offset=200)
+
+    def test_formula_matches_eq_1_to_4(self):
+        """Independent recomputation of equations (1)-(4)."""
+        ru = PrbGrid(3.46e9, 273)
+        scs = 30_000
+        prb_offset = 17
+        num_prb = 51
+        prb0 = ru.center_frequency_hz - 12 * scs * ru.num_prb / 2  # eq. 1-2
+        expected = prb0 + 12 * scs * (prb_offset + num_prb / 2)  # eq. 3-4
+        assert aligned_du_center_frequency(ru, num_prb, prb_offset) == pytest.approx(
+            expected
+        )
+
+    @given(
+        prb_offset=st.integers(min_value=0, max_value=167),
+        num_prb=st.integers(min_value=1, max_value=106),
+    )
+    def test_alignment_property(self, prb_offset, num_prb):
+        """Any offset produced by the formula yields an aligned grid."""
+        ru = PrbGrid(3.46e9, 273)
+        if prb_offset + num_prb > ru.num_prb:
+            return
+        center = aligned_du_center_frequency(ru, num_prb, prb_offset)
+        du = PrbGrid(center, num_prb)
+        assert ru.is_aligned_with(du)
+        assert ru.aligned_prb_offset(du) == prb_offset
+
+
+class TestSplitRuSpectrum:
+    def test_non_overlapping_and_packed(self):
+        ru = PrbGrid(3.46e9, 273)
+        grids = split_ru_spectrum(ru, [106, 106, 51])
+        offsets = [ru.aligned_prb_offset(g) for g in grids]
+        assert offsets == [0, 106, 212]
+
+    def test_rejects_oversubscription(self):
+        ru = PrbGrid(3.46e9, 273)
+        with pytest.raises(ValueError):
+            split_ru_spectrum(ru, [200, 106])

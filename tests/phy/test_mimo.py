@@ -1,0 +1,132 @@
+"""MIMO link model tests: rank selection, SE, throughput calibration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fronthaul.timing import TddPattern
+from repro.phy.mimo import (
+    MAX_SE_BITS_PER_HZ,
+    MimoLink,
+    spectral_efficiency,
+    throughput_mbps,
+)
+
+BW_100MHZ = 273 * 12 * 30e3
+DL_FRACTION = TddPattern().downlink_symbol_fraction()
+
+
+class TestSpectralEfficiency:
+    def test_monotonic_in_sinr(self):
+        values = [spectral_efficiency(s) for s in (-5, 0, 10, 20, 30)]
+        assert values == sorted(values)
+
+    def test_capped_at_max(self):
+        assert spectral_efficiency(60.0) == MAX_SE_BITS_PER_HZ
+
+    def test_custom_cap(self):
+        assert spectral_efficiency(60.0, max_se=3.0) == 3.0
+
+    def test_zero_at_very_low_sinr(self):
+        assert spectral_efficiency(-30.0) < 0.01
+
+
+class TestMimoLink:
+    def test_rank_matches_antennas_at_high_snr(self):
+        """Table 2's rank indicators: 2 antennas -> rank 2, 4 -> rank 4."""
+        assert MimoLink.colocated(55.0, 2).best_rank() == 2
+        assert MimoLink.colocated(55.0, 4).best_rank() == 4
+
+    def test_rank1_beamforming_gain(self):
+        """Rank 1 from a 4-port array gets the full power budget: ~6 dB
+        above the per-port SNR (precoding gain)."""
+        link = MimoLink.colocated(10.0, 4)
+        assert link.layer_sinrs_db(1)[0] == pytest.approx(16.0, abs=0.5)
+
+    def test_aggregate_se_increases_with_antennas(self):
+        se = [
+            MimoLink.colocated(55.0, n).aggregate_se() for n in (1, 2, 4)
+        ]
+        assert se == sorted(se)
+
+    def test_rank_sublinear_scaling(self):
+        """Table 2: 4 layers is ~1.4x of 2 layers, not 2x (inter-layer
+        interference), matching 898/653."""
+        two = MimoLink.colocated(55.0, 2).aggregate_se()
+        four = MimoLink.colocated(55.0, 4).aggregate_se()
+        assert 1.2 < four / two < 1.6
+
+    def test_layer_sinr_decreases_with_rank(self):
+        link = MimoLink.colocated(50.0, 4)
+        sinrs = [max(link.layer_sinrs_db(rank)) for rank in (1, 2, 4)]
+        assert sinrs == sorted(sinrs, reverse=True)
+
+    def test_distributed_unequal_groups(self):
+        """A UE near one dMIMO RU: strong layers from it, weaker from the
+        far RU — aggregate lands between rank-2 and colocated rank-4."""
+        near_only = MimoLink.colocated(55.0, 2).aggregate_se()
+        colocated = MimoLink.colocated(55.0, 4).aggregate_se()
+        distributed = MimoLink.distributed([(55.0, 2), (48.0, 2)]).aggregate_se()
+        assert near_only < distributed < colocated
+
+    def test_distributed_never_below_strong_group_alone(self):
+        """Adding far antennas never hurts: the link can always fall back
+        to the strong group's rank."""
+        strong_alone = MimoLink.colocated(55.0, 2).aggregate_se()
+        with_weak = MimoLink.distributed([(55.0, 2), (25.0, 2)]).aggregate_se()
+        assert with_weak >= strong_alone - 1e-9
+
+    def test_distributed_equal_matches_colocated(self):
+        colocated = MimoLink.colocated(50.0, 4).aggregate_se()
+        distributed = MimoLink.distributed([(50.0, 2), (50.0, 2)]).aggregate_se()
+        assert distributed == pytest.approx(colocated)
+
+    def test_max_layers_caps_rank(self):
+        assert MimoLink.colocated(55.0, 4, max_layers=2).best_rank() == 2
+
+    def test_invalid_rank_raises(self):
+        link = MimoLink.colocated(30.0, 2)
+        with pytest.raises(ValueError):
+            link.layer_sinrs_db(3)
+
+    def test_empty_antennas_rejected(self):
+        with pytest.raises(ValueError):
+            MimoLink(antenna_sinrs_db=())
+
+    @settings(max_examples=40, deadline=None)
+    @given(sinr=st.floats(min_value=-10, max_value=60))
+    def test_best_rank_is_argmax_property(self, sinr):
+        link = MimoLink.colocated(sinr, 4)
+        best = link.best_rank()
+        best_se = link.rank_aggregate_se(best)
+        for rank in range(1, 5):
+            assert best_se >= link.rank_aggregate_se(rank) - 1e-9
+
+
+class TestThroughput:
+    def test_calibration_100mhz_4x4(self):
+        """The paper's headline number: ~900 Mbps for 100 MHz 4x4."""
+        link = MimoLink.colocated(60.0, 4)
+        mbps = throughput_mbps(link.aggregate_se(), BW_100MHZ, DL_FRACTION)
+        assert 850 <= mbps <= 960
+
+    def test_calibration_2_layers(self):
+        """Table 2: ~650 Mbps for 2 layers."""
+        link = MimoLink.colocated(60.0, 2)
+        mbps = throughput_mbps(link.aggregate_se(), BW_100MHZ, DL_FRACTION)
+        assert 600 <= mbps <= 720
+
+    def test_scales_with_bandwidth(self):
+        se = MimoLink.colocated(50.0, 4).aggregate_se()
+        full = throughput_mbps(se, BW_100MHZ, DL_FRACTION)
+        narrow = throughput_mbps(se, BW_100MHZ * 0.4, DL_FRACTION)
+        assert narrow == pytest.approx(full * 0.4)
+
+    def test_direction_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(4.0, BW_100MHZ, 1.5)
+        with pytest.raises(ValueError):
+            throughput_mbps(4.0, BW_100MHZ, 0.5, overhead_fraction=1.0)
+
+    def test_zero_fraction_zero_throughput(self):
+        assert throughput_mbps(4.0, BW_100MHZ, 0.0) == 0.0

@@ -1,0 +1,53 @@
+"""Cell configuration tests."""
+
+import pytest
+
+from repro.ran.cell import CellConfig
+
+
+class TestCellConfig:
+    def test_100mhz_prb_count(self):
+        assert CellConfig(pci=1).num_prb == 273
+
+    def test_40mhz_prb_count(self):
+        assert CellConfig(pci=1, bandwidth_hz=40_000_000).num_prb == 106
+
+    def test_grid_center(self):
+        cell = CellConfig(pci=1, center_frequency_hz=3.46e9)
+        assert cell.grid.center_frequency_hz == 3.46e9
+        assert cell.grid.num_prb == cell.num_prb
+
+    def test_occupied_bandwidth_below_channel(self):
+        cell = CellConfig(pci=1)
+        assert cell.occupied_bandwidth_hz < cell.bandwidth_hz
+
+    def test_pci_validation(self):
+        with pytest.raises(ValueError):
+            CellConfig(pci=1008)
+
+    def test_layers_cannot_exceed_antennas(self):
+        with pytest.raises(ValueError):
+            CellConfig(pci=1, n_antennas=2, max_dl_layers=4)
+
+    def test_ssb_periodicity(self):
+        cell = CellConfig(pci=1, ssb_period_slots=40)
+        assert cell.is_ssb_slot(0)
+        assert cell.is_ssb_slot(40)
+        assert not cell.is_ssb_slot(1)
+
+    def test_ssb_prb_range_centred(self):
+        cell = CellConfig(pci=1)
+        start, end = cell.ssb_prb_range
+        assert end - start == 20
+        assert abs((start + end) / 2 - cell.num_prb / 2) <= 1
+
+    def test_ssb_range_fits_small_cell(self):
+        cell = CellConfig(pci=1, bandwidth_hz=20_000_000)
+        start, end = cell.ssb_prb_range
+        assert 0 <= start < end <= cell.num_prb
+
+    def test_prach_periodicity(self):
+        cell = CellConfig(pci=1, prach_period_slots=40)
+        assert cell.is_prach_slot(4)
+        assert cell.is_prach_slot(44)
+        assert not cell.is_prach_slot(0)

@@ -1,0 +1,137 @@
+"""S-plane PTP message-exchange tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.ptp import (
+    OffsetSample,
+    PtpMessageType,
+    PtpPath,
+    PtpSession,
+    converge_deployment,
+)
+
+
+class TestPtpPath:
+    def test_delays_nonnegative(self):
+        path = PtpPath(mean_delay_ns=100, jitter_ns=500, seed=1)
+        for _ in range(100):
+            assert path.forward_ns() >= 0
+            assert path.reverse_ns() >= 0
+
+    def test_asymmetry_splits_between_directions(self):
+        path = PtpPath(mean_delay_ns=5000, asymmetry_ns=400, jitter_ns=0)
+        assert path.forward_ns() - path.reverse_ns() == pytest.approx(400)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            PtpPath(mean_delay_ns=-1)
+
+
+class TestPtpSession:
+    def test_exchange_emits_full_two_step_sequence(self):
+        session = PtpSession(PtpPath(jitter_ns=0))
+        session.exchange()
+        kinds = [message.kind for message in session.log]
+        assert kinds == [
+            PtpMessageType.SYNC,
+            PtpMessageType.FOLLOW_UP,
+            PtpMessageType.DELAY_REQ,
+            PtpMessageType.DELAY_RESP,
+        ]
+
+    def test_symmetric_path_measures_exact_offset(self):
+        session = PtpSession(
+            PtpPath(mean_delay_ns=5000, jitter_ns=0),
+            true_client_offset_ns=1234.0,
+        )
+        sample = session.exchange()
+        assert sample.offset_ns == pytest.approx(1234.0)
+        assert sample.mean_path_delay_ns == pytest.approx(5000.0)
+
+    def test_servo_converges_symmetric(self):
+        session = PtpSession(
+            PtpPath(mean_delay_ns=5000, jitter_ns=20, seed=2),
+            true_client_offset_ns=50_000.0,  # 50 us initial error
+        )
+        residual = session.converge(rounds=40)
+        assert abs(residual) < 50  # nanoseconds
+
+    def test_convergence_is_monotone_in_the_large(self):
+        session = PtpSession(
+            PtpPath(mean_delay_ns=5000, jitter_ns=0),
+            true_client_offset_ns=10_000.0,
+        )
+        residuals = []
+        for _ in range(10):
+            session.exchange()
+            residuals.append(abs(session.residual_ns()))
+        assert residuals[-1] < residuals[0] / 10
+
+    def test_asymmetry_biases_by_half(self):
+        """The textbook PTP blind spot: half the asymmetry is invisible."""
+        session = PtpSession(
+            PtpPath(mean_delay_ns=5000, asymmetry_ns=200, jitter_ns=0),
+            true_client_offset_ns=0.0,
+        )
+        residual = session.converge(rounds=30)
+        assert residual == pytest.approx(-100.0, abs=1.0)
+
+    def test_path_delay_estimate(self):
+        session = PtpSession(PtpPath(mean_delay_ns=7000, jitter_ns=10, seed=3))
+        session.converge(rounds=16)
+        assert session.estimated_path_delay_ns() == pytest.approx(7000, abs=50)
+
+    def test_path_delay_requires_exchanges(self):
+        with pytest.raises(RuntimeError):
+            PtpSession(PtpPath()).estimated_path_delay_ns()
+
+    def test_rejects_bad_servo_gain(self):
+        with pytest.raises(ValueError):
+            PtpSession(PtpPath(), servo_gain=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(offset=st.floats(min_value=-1e6, max_value=1e6))
+    def test_converges_from_any_initial_offset(self, offset):
+        session = PtpSession(
+            PtpPath(mean_delay_ns=5000, jitter_ns=0),
+            true_client_offset_ns=offset,
+        )
+        assert abs(session.converge(rounds=50)) < max(abs(offset) * 1e-5, 1.0)
+
+
+class TestDeploymentConvergence:
+    def test_dmimo_budget_met_with_good_paths(self):
+        """A locked deployment lands inside the 65 ns dMIMO TAE budget."""
+        rng = np.random.default_rng(4)
+        residuals = converge_deployment(
+            n_clients=5,
+            initial_offsets_ns=rng.uniform(-1e5, 1e5, 5),
+            path_factory=lambda i: PtpPath(mean_delay_ns=5000, jitter_ns=15,
+                                           seed=i),
+            rounds=48,
+        )
+        spread = max(residuals) - min(residuals)
+        assert spread < 65.0
+
+    def test_asymmetric_paths_blow_the_budget(self):
+        """Uncompensated asymmetry (e.g. mismatched fiber pairs) breaks
+        the dMIMO phase budget even though PTP reports 'locked'."""
+        rng = np.random.default_rng(5)
+        residuals = converge_deployment(
+            n_clients=4,
+            initial_offsets_ns=rng.uniform(-1e5, 1e5, 4),
+            path_factory=lambda i: PtpPath(
+                mean_delay_ns=5000, asymmetry_ns=(-1) ** i * 300,
+                jitter_ns=10, seed=10 + i,
+            ),
+            rounds=48,
+        )
+        spread = max(residuals) - min(residuals)
+        assert spread > 65.0
+
+    def test_requires_clients(self):
+        with pytest.raises(ValueError):
+            converge_deployment(0, [], lambda i: PtpPath())

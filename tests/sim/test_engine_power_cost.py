@@ -1,0 +1,129 @@
+"""Event engine, power model and cost model tests."""
+
+import pytest
+
+from repro.sim.cost import CostModel, DeploymentCost
+from repro.sim.engine import EventEngine
+from repro.sim.power import ServerLoad, ServerPowerModel, deployment_power_w
+
+
+class TestEventEngine:
+    def test_runs_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(30, lambda: order.append("c"))
+        engine.schedule(10, lambda: order.append("a"))
+        engine.schedule(20, lambda: order.append("b"))
+        assert engine.run() == 3
+        assert order == ["a", "b", "c"]
+        assert engine.now_ns == 30
+
+    def test_fifo_tie_break(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(10, lambda: order.append(1))
+        engine.schedule(10, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_horizon_stops_early(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(10, lambda: fired.append(1))
+        engine.schedule(100, lambda: fired.append(2))
+        engine.run(until_ns=50)
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_nested_scheduling(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now_ns)
+            if len(fired) < 3:
+                engine.schedule(5, chain)
+
+        engine.schedule(5, chain)
+        engine.run()
+        assert fired == [5, 10, 15]
+
+    def test_past_scheduling_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_event_cap(self):
+        engine = EventEngine()
+
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(1, forever)
+        assert engine.run(max_events=100) == 100
+
+
+class TestPowerModel:
+    def test_figure14_config_a(self):
+        """Two servers running 5 cells + middleboxes: ~400 W."""
+        model = ServerPowerModel()
+        power = deployment_power_w(
+            [ServerLoad(active_cores=32), ServerLoad(active_cores=3)], model
+        )
+        assert 350 <= power <= 430
+
+    def test_figure14_config_b(self):
+        """One half-loaded server, one off: ~180 W."""
+        model = ServerPowerModel()
+        power = deployment_power_w(
+            [
+                ServerLoad(active_cores=12, low_freq_cores=16),
+                ServerLoad(active_cores=0, powered=False),
+            ],
+            model,
+        )
+        assert 160 <= power <= 210
+
+    def test_off_server_draws_nothing(self):
+        assert deployment_power_w([ServerLoad(32, powered=False)]) == 0.0
+
+    def test_low_freq_cheaper_than_active(self):
+        model = ServerPowerModel()
+        assert model.power_w(16, 0) > model.power_w(0, 16)
+
+    def test_core_budget_enforced(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel().power_w(20, 20)
+
+    def test_negative_cores_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel().power_w(-1)
+
+
+class TestCostModel:
+    def test_appendix_a2_calibration(self):
+        """~$60k commodity cost; 41% cheaper than conventional DAS at a
+        50% margin (Appendix A.2)."""
+        deployment = DeploymentCost()
+        base = deployment.ranbooster_usd() / (1 + deployment.vendor_margin)
+        assert base == pytest.approx(60_000, rel=0.03)
+        assert deployment.conventional_usd() == pytest.approx(154_030)
+        assert deployment.savings_fraction() == pytest.approx(0.41, abs=0.02)
+
+    def test_cost_scales_with_rus(self):
+        model = CostModel()
+        small = model.ranbooster_deployment_usd(n_rus=4)
+        large = model.ranbooster_deployment_usd(n_rus=16)
+        assert large > small
+
+    def test_rejects_zero_rus(self):
+        with pytest.raises(ValueError):
+            CostModel().ranbooster_deployment_usd(n_rus=0)
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(ValueError):
+            CostModel().conventional_das_usd(0)
