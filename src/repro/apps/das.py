@@ -127,20 +127,18 @@ class DasMiddlebox(Middlebox):
     def _merge_sections(
         self, ctx: ActionContext, packets: List[FronthaulPacket]
     ) -> List[UPlaneSection]:
-        """Merge matching sections across per-RU packets element-wise."""
-        reference: UPlaneMessage = packets[0].message
-        merged: List[UPlaneSection] = []
-        for index, section in enumerate(reference.sections):
-            operands = []
-            for source_packet in packets:
-                message: UPlaneMessage = source_packet.message
-                if index >= len(message.sections):
-                    raise ValueError(
-                        "RU uplink packets disagree on section count"
-                    )
-                operands.append(message.sections[index])
-            merged.append(ctx.merge_iq(operands))
-        return merged
+        """Merge matching sections across per-RU packets element-wise.
+
+        Each section index is merged in one batched A4 pass: the N per-RU
+        payloads are decompressed into a single ``(n_rus, n_prbs, 24)``
+        stack, summed once, and recompressed once (see
+        :meth:`ActionContext.merge_iq`).
+        """
+        section_counts = {len(p.message.sections) for p in packets}
+        if len(section_counts) != 1:
+            raise ValueError("RU uplink packets disagree on section count")
+        per_index = zip(*(p.message.sections for p in packets))
+        return [ctx.merge_iq(operands) for operands in per_index]
 
     def cache_store_tags(self, key) -> List:
         return self.cache.tags(key)

@@ -187,16 +187,36 @@ class RuSharingMiddlebox(Middlebox):
         time: SymbolTime,
         packets: List[FronthaulPacket],
     ) -> FronthaulPacket:
-        """Copy every DU's PRBs into one full-band RU U-plane packet."""
-        zero = np.zeros(
-            (self.ru_grid.num_prb, 2 * SAMPLES_PER_PRB), dtype=np.int16
-        )
-        target = UPlaneSection.from_samples(
-            section_id=0, start_prb=0, samples=zero, compression=self.compression
-        )
+        """Copy every DU's PRBs into one full-band RU U-plane packet.
+
+        Aligned DUs are batched: their sections' wire bytes are scattered
+        into one output buffer in a single :meth:`ActionContext.assemble_prbs`
+        pass (unwritten PRBs are idle/zero).  Misaligned DUs then land on
+        the slow decompress/shift/recompress path on top of that target.
+        """
+        aligned_placements: List[Tuple[UPlaneSection, int]] = []
+        misaligned: List[Tuple[UPlaneSection, float]] = []
         for source_packet in packets:
             du = self._du_for(source_packet)
-            target = self._relocate_du_to_ru(ctx, source_packet, du, target)
+            offset = du.prb_offset_in(self.ru_grid)
+            for section in source_packet.message.sections:
+                if du.is_aligned_with(self.ru_grid):
+                    self.aligned_copies += 1
+                    aligned_placements.append(
+                        (section, int(round(offset)) + section.start_prb)
+                    )
+                else:
+                    self.misaligned_copies += 1
+                    misaligned.append((section, offset))
+        target = ctx.assemble_prbs(
+            num_prb=self.ru_grid.num_prb,
+            placements=aligned_placements,
+            compression=self.compression,
+            section_id=0,
+            start_prb=0,
+        )
+        for section, offset in misaligned:
+            target = self._copy_subcarriers(ctx, section, target, offset)
         message = UPlaneMessage(
             direction=Direction.DOWNLINK, time=time, sections=[target]
         )
@@ -204,32 +224,6 @@ class RuSharingMiddlebox(Middlebox):
         return FronthaulPacket(
             eth=template.eth, ecpri=template.ecpri, message=message
         )
-
-    def _relocate_du_to_ru(
-        self,
-        ctx: ActionContext,
-        packet: FronthaulPacket,
-        du: SharedDuConfig,
-        target: UPlaneSection,
-    ) -> UPlaneSection:
-        offset = du.prb_offset_in(self.ru_grid)
-        for section in packet.message.sections:
-            if du.is_aligned_with(self.ru_grid):
-                self.aligned_copies += 1
-                target = ctx.copy_prbs(
-                    source=section,
-                    destination=target,
-                    source_start_prb=section.start_prb,
-                    dest_start_prb=int(round(offset)) + section.start_prb,
-                    num_prb=section.num_prb,
-                    aligned=True,
-                )
-            else:
-                self.misaligned_copies += 1
-                target = self._copy_subcarriers(
-                    ctx, section, target, offset
-                )
-        return target
 
     def _copy_subcarriers(
         self,
@@ -278,23 +272,16 @@ class RuSharingMiddlebox(Middlebox):
         for section in packet.message.sections:
             if du.is_aligned_with(self.ru_grid):
                 self.aligned_copies += 1
-                zero = np.zeros(
-                    (du.grid.num_prb, 2 * SAMPLES_PER_PRB), dtype=np.int16
-                )
-                target = UPlaneSection.from_samples(
-                    section_id=du.du_id,
-                    start_prb=0,
-                    samples=zero,
-                    compression=section.compression,
-                )
+                # Zero-copy carve-out: the DU section shares the RU
+                # packet's wire bytes instead of round-tripping through a
+                # zero-filled target section.
                 sections_out.append(
-                    ctx.copy_prbs(
+                    ctx.extract_prbs(
                         source=section,
-                        destination=target,
                         source_start_prb=int(round(offset)),
-                        dest_start_prb=0,
                         num_prb=du.grid.num_prb,
-                        aligned=True,
+                        section_id=du.du_id,
+                        dest_start_prb=0,
                     )
                 )
             else:

@@ -26,7 +26,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
-from repro.fronthaul.compression import BfpCompressor
+from repro.fronthaul.compression import BfpCompressor, merge_payloads
 from repro.fronthaul.cplane import CPlaneMessage
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import FronthaulPacket
@@ -276,8 +276,11 @@ class ActionContext:
     def merge_iq(self, sections: Sequence[UPlaneSection]) -> UPlaneSection:
         """Element-wise sum of the IQ samples of aligned sections.
 
-        The DAS uplink combine (Section 4.1): decompress every operand,
-        sum per subcarrier with saturation, recompress into a new section.
+        The DAS uplink combine (Section 4.1), batched: all N operand
+        payloads are decompressed in ONE codec pass into an
+        ``(n_rus, n_prbs, 24)`` stack, summed once with saturation, and
+        recompressed once — no per-section decompress/recompress
+        round-trips and no per-PRB Python loop.
         """
         if not sections:
             raise ValueError("nothing to merge")
@@ -288,19 +291,22 @@ class ActionContext:
                     f"cannot merge misaligned sections {section.prb_range} "
                     f"vs {first.prb_range}"
                 )
-        compressor = BfpCompressor(first.compression)
-        total = np.zeros((first.num_prb, 24), dtype=np.int64)
-        for section in sections:
-            total += compressor.decompress(section.payload, section.num_prb)
-        merged = np.clip(total, -32768, 32767).astype(np.int16)
+            if section.compression != first.compression:
+                raise ValueError("cannot merge mixed compression configs")
+        payload = merge_payloads(
+            [section.payload for section in sections],
+            first.num_prb,
+            first.compression,
+        )
         self.trace.record(
             ActionKind.IQ_MERGE,
             self.cost.merge_cost(first.num_prb, len(sections)),
         )
-        return UPlaneSection.from_samples(
+        return UPlaneSection(
             section_id=first.section_id,
             start_prb=first.start_prb,
-            samples=merged,
+            num_prb=first.num_prb,
+            payload=payload,
             compression=first.compression,
         )
 
@@ -356,3 +362,70 @@ class ActionContext:
             src_index : src_index + num_prb
         ]
         return self.compress(destination, dst_samples)
+
+    def extract_prbs(
+        self,
+        source: UPlaneSection,
+        source_start_prb: int,
+        num_prb: int,
+        section_id: int,
+        dest_start_prb: int = 0,
+    ) -> UPlaneSection:
+        """Aligned extraction: carve a PRB range out of ``source`` as a new
+        section sharing the original payload bytes (RU-sharing demux).
+
+        Equivalent to allocating a zero section and :meth:`copy_prbs`-ing
+        into it, but zero-copy: the new section's payload is a view over
+        the source's wire bytes.
+        """
+        self.trace.record(
+            ActionKind.PRB_COPY, self.cost.prb_copy_cost(num_prb, True)
+        )
+        view = source.prb_payload_view(source_start_prb, num_prb)
+        return UPlaneSection(
+            section_id=section_id,
+            start_prb=dest_start_prb,
+            num_prb=num_prb,
+            payload=view,
+            compression=source.compression,
+        )
+
+    def assemble_prbs(
+        self,
+        num_prb: int,
+        placements: Sequence[Tuple[UPlaneSection, int]],
+        compression,
+        section_id: int = 0,
+        start_prb: int = 0,
+    ) -> UPlaneSection:
+        """Aligned scatter: build one ``num_prb``-wide section by writing
+        each source's wire bytes at its destination PRB index in a single
+        output buffer (RU-sharing downlink mux).
+
+        ``placements`` is a sequence of ``(source_section, dest_prb_index)``
+        pairs.  Unwritten PRBs are idle (exponent 0, zero mantissas) —
+        byte-identical to compressing a zero grid.  One allocation total,
+        versus one full payload copy per operand with repeated
+        :meth:`copy_prbs` calls.
+        """
+        prb_bytes = compression.prb_payload_bytes()
+        payload = bytearray(num_prb * prb_bytes)
+        for source, dest_index in placements:
+            if source.compression != compression:
+                raise ValueError("aligned assembly requires identical compression")
+            if not (0 <= dest_index and dest_index + source.num_prb <= num_prb):
+                raise ValueError("destination PRB range out of bounds")
+            self.trace.record(
+                ActionKind.PRB_COPY,
+                self.cost.prb_copy_cost(source.num_prb, True),
+            )
+            payload[
+                dest_index * prb_bytes : (dest_index + source.num_prb) * prb_bytes
+            ] = source.payload
+        return UPlaneSection(
+            section_id=section_id,
+            start_prb=start_prb,
+            num_prb=num_prb,
+            payload=bytes(payload),
+            compression=compression,
+        )

@@ -115,9 +115,12 @@ def parse_packet(
     if eth.ethertype != ETHERTYPE_ECPRI:
         raise ValueError(f"not an eCPRI frame: ethertype 0x{eth.ethertype:04x}")
     ecpri, consumed = EcpriHeader.unpack(data[offset:])
-    body = data[offset + consumed :]
     if ecpri.message_type is EcpriMessageType.RT_CONTROL:
-        message: Message = CPlaneMessage.unpack(body, carrier_num_prb)
+        message: Message = CPlaneMessage.unpack(
+            data[offset + consumed :], carrier_num_prb
+        )
     else:
+        # Zero-copy: U-plane sections hold views into the frame buffer.
+        body = memoryview(data)[offset + consumed :]
         message = UPlaneMessage.unpack(body, carrier_num_prb)
     return FronthaulPacket(eth=eth, ecpri=ecpri, message=message)

@@ -7,14 +7,17 @@ middlebox multiplexes/demultiplexes, and the PRB monitor inspects.
 
 Payloads are stored as raw wire bytes so that middleboxes can exercise the
 same fast paths as the C implementation: reading an exponent byte does not
-decompress the PRB, and aligned PRB copies are byte-range copies.
+decompress the PRB, and aligned PRB copies are byte-range copies.  Parsing
+is zero-copy — sections hold :class:`memoryview` slices into the received
+frame rather than copied bytes — and IQ decodes are computed lazily and
+cached per section, so a pass-through middlebox never touches the codec.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,15 +28,25 @@ from repro.fronthaul.timing import SymbolTime
 _HDR = struct.Struct("!BBH")
 _SECTION_HDR = struct.Struct("!3sBBB")
 
+#: Wire payloads may be owned bytes or zero-copy views into a frame.
+PayloadBytes = Union[bytes, memoryview]
+
 
 @dataclass
 class UPlaneSection:
-    """One U-plane section: a PRB range plus its compressed IQ payload."""
+    """One U-plane section: a PRB range plus its compressed IQ payload.
+
+    ``payload`` may be a :class:`memoryview` into the original frame (the
+    zero-copy parse path) — use :meth:`payload_bytes` when owned bytes are
+    required.  Decoded IQ samples are cached on the section (read-only
+    arrays); :meth:`replace_payload` recognises an unmodified cached decode
+    and reuses the original wire bytes instead of recompressing.
+    """
 
     section_id: int
     start_prb: int
     num_prb: int
-    payload: bytes
+    payload: PayloadBytes
     compression: CompressionConfig = field(default_factory=CompressionConfig)
     rb: int = 0
     sym_inc: int = 0
@@ -49,16 +62,50 @@ class UPlaneSection:
                 f"payload size {len(self.payload)} does not match "
                 f"{self.num_prb} PRBs ({expected} bytes)"
             )
+        # Lazy decode cache: filled by iq_samples(), consumed by
+        # replace_payload()'s zero-copy fast path.
+        self._iq_cache: Optional[np.ndarray] = None
+
+    def __deepcopy__(self, memo) -> "UPlaneSection":
+        # memoryview payloads cannot be deep-copied; materialize to bytes.
+        clone = UPlaneSection(
+            section_id=self.section_id,
+            start_prb=self.start_prb,
+            num_prb=self.num_prb,
+            payload=self.payload_bytes(),
+            compression=self.compression,
+            rb=self.rb,
+            sym_inc=self.sym_inc,
+        )
+        clone._iq_cache = self._iq_cache  # read-only, safe to share
+        return clone
 
     @property
     def prb_range(self) -> Tuple[int, int]:
         return (self.start_prb, self.start_prb + self.num_prb)
 
+    def payload_bytes(self) -> bytes:
+        """The payload as owned ``bytes`` (copies only if zero-copy view)."""
+        if isinstance(self.payload, bytes):
+            return self.payload
+        return bytes(self.payload)
+
     # -- IQ helpers (action A4 building blocks) -----------------------------
 
     def iq_samples(self) -> np.ndarray:
-        """Decompress to int16 samples of shape (num_prb, 24)."""
-        return BfpCompressor(self.compression).decompress(self.payload, self.num_prb)
+        """Decompress to int16 samples of shape (num_prb, 24).
+
+        The decode is lazy and cached; the returned array is read-only
+        (``.copy()`` before mutating).  Passing the cached array back to
+        :meth:`replace_payload` untouched skips recompression entirely.
+        """
+        if self._iq_cache is None:
+            decoded = BfpCompressor(self.compression).decompress(
+                self.payload, self.num_prb
+            )
+            decoded.setflags(write=False)
+            self._iq_cache = decoded
+        return self._iq_cache
 
     def exponents(self) -> np.ndarray:
         """Per-PRB BFP exponents without decompressing (Algorithm 1)."""
@@ -72,11 +119,47 @@ class UPlaneSection:
         index = prb - self.start_prb
         if not 0 <= index < self.num_prb:
             raise ValueError(f"PRB {prb} outside section range {self.prb_range}")
-        return self.payload[index * size : (index + 1) * size]
+        return bytes(self.payload[index * size : (index + 1) * size])
+
+    def prb_payload_view(self, start_prb: int, num_prb: int) -> PayloadBytes:
+        """Zero-copy view over a contiguous PRB range of the payload."""
+        size = self.compression.prb_payload_bytes()
+        index = start_prb - self.start_prb
+        if not (0 <= index and index + num_prb <= self.num_prb):
+            raise ValueError(
+                f"PRB range [{start_prb}, {start_prb + num_prb}) outside "
+                f"section range {self.prb_range}"
+            )
+        view = memoryview(self.payload)[
+            index * size : (index + num_prb) * size
+        ]
+        return view
+
+    def subsection(
+        self, start_prb: int, num_prb: int, section_id: Optional[int] = None
+    ) -> "UPlaneSection":
+        """A new section over a PRB sub-range, sharing payload bytes."""
+        return UPlaneSection(
+            section_id=self.section_id if section_id is None else section_id,
+            start_prb=start_prb,
+            num_prb=num_prb,
+            payload=self.prb_payload_view(start_prb, num_prb),
+            compression=self.compression,
+            rb=self.rb,
+            sym_inc=self.sym_inc,
+        )
 
     def replace_payload(self, samples: np.ndarray) -> "UPlaneSection":
-        """Return a copy with recompressed IQ samples."""
-        payload = BfpCompressor(self.compression).compress(samples)
+        """Return a copy with recompressed IQ samples.
+
+        Fast path: when ``samples`` is this section's own cached decode
+        (obtained from :meth:`iq_samples` and never modified), the original
+        payload bytes are reused verbatim — zero codec work, zero copies.
+        """
+        if samples is self._iq_cache and self._iq_cache is not None:
+            payload: PayloadBytes = self.payload
+        else:
+            payload = BfpCompressor(self.compression).compress(samples)
         return UPlaneSection(
             section_id=self.section_id,
             start_prb=self.start_prb,
@@ -113,19 +196,18 @@ class UPlaneSection:
             | (self.start_prb & 0x3FF)
         )
         num_prb_byte = self.num_prb if 0 < self.num_prb <= 255 else ALL_PRBS
-        return (
-            _SECTION_HDR.pack(
-                word.to_bytes(3, "big"),
-                num_prb_byte,
-                self.compression.to_byte(),
-                0,
-            )
-            + self.payload
+        header = _SECTION_HDR.pack(
+            word.to_bytes(3, "big"),
+            num_prb_byte,
+            self.compression.to_byte(),
+            0,
         )
+        # join() accepts the zero-copy memoryview payload directly.
+        return b"".join((header, self.payload))
 
     @classmethod
     def unpack(
-        cls, data: bytes, offset: int, carrier_num_prb: Optional[int] = None
+        cls, data: PayloadBytes, offset: int, carrier_num_prb: Optional[int] = None
     ) -> Tuple["UPlaneSection", int]:
         if len(data) - offset < _SECTION_HDR.size:
             raise ValueError("truncated U-plane section header")
@@ -140,13 +222,14 @@ class UPlaneSection:
         payload_size = num_prb * compression.prb_payload_bytes()
         if len(data) - offset < payload_size:
             raise ValueError("truncated U-plane payload")
+        # Zero-copy: the section references the original frame buffer.
         section = cls(
             section_id=(head >> 12) & 0xFFF,
             rb=(head >> 11) & 0x1,
             sym_inc=(head >> 10) & 0x1,
             start_prb=head & 0x3FF,
             num_prb=num_prb,
-            payload=data[offset : offset + payload_size],
+            payload=memoryview(data)[offset : offset + payload_size],
             compression=compression,
         )
         return section, offset + payload_size
@@ -172,14 +255,13 @@ class UPlaneMessage:
             | ((self.time.slot & 0x3F) << 6)
             | (self.time.symbol & 0x3F)
         )
-        out = bytearray(_HDR.pack(first, self.time.frame & 0xFF, timing))
-        for section in self.sections:
-            out.extend(section.pack())
-        return bytes(out)
+        parts = [_HDR.pack(first, self.time.frame & 0xFF, timing)]
+        parts.extend(section.pack() for section in self.sections)
+        return b"".join(parts)
 
     @classmethod
     def unpack(
-        cls, data: bytes, carrier_num_prb: Optional[int] = None
+        cls, data: PayloadBytes, carrier_num_prb: Optional[int] = None
     ) -> "UPlaneMessage":
         if len(data) < _HDR.size:
             raise ValueError("truncated U-plane header")

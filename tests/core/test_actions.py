@@ -245,3 +245,92 @@ class TestA4IqOperations:
         section = make_uplane(rng, du_mac, ru_mac).message.sections[0]
         ctx.decompress(section)
         assert ctx.trace.needs_userspace()
+
+
+class TestA4BatchedAlignedCopies:
+    """extract_prbs / assemble_prbs: the batched RU-sharing fast paths."""
+
+    def test_extract_prbs_matches_copy_prbs(self, ctx, rng):
+        samples = random_prb_samples(rng, 12)
+        source = UPlaneSection.from_samples(0, 0, samples)
+        extracted = ctx.extract_prbs(
+            source, source_start_prb=3, num_prb=5, section_id=7
+        )
+        # Equivalent slow path: zero target + aligned copy_prbs.
+        target = UPlaneSection.from_samples(
+            7, 0, np.zeros((5, 24), dtype=np.int16)
+        )
+        copied = ctx.copy_prbs(source, target, 3, 0, 5, aligned=True)
+        assert extracted.payload_bytes() == copied.payload_bytes()
+        assert extracted.section_id == 7
+        assert extracted.num_prb == 5
+
+    def test_extract_prbs_is_zero_copy(self, ctx, rng):
+        source = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 8))
+        extracted = ctx.extract_prbs(source, 2, 3, section_id=1)
+        assert isinstance(extracted.payload, memoryview)
+        assert ActionKind.PRB_COPY in ctx.trace.kinds()
+
+    def test_extract_prbs_bounds_checked(self, ctx, rng):
+        source = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 4))
+        with pytest.raises(ValueError):
+            ctx.extract_prbs(source, 2, 5, section_id=1)
+
+    def test_assemble_prbs_matches_sequential_copies(self, ctx, rng):
+        a = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 4))
+        b = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 3))
+        assembled = ctx.assemble_prbs(
+            num_prb=10,
+            placements=[(a, 0), (b, 6)],
+            compression=a.compression,
+        )
+        # Slow equivalent: zero target + two aligned copy_prbs.
+        target = UPlaneSection.from_samples(
+            0, 0, np.zeros((10, 24), dtype=np.int16)
+        )
+        target = ctx.copy_prbs(a, target, 0, 0, 4, aligned=True)
+        target = ctx.copy_prbs(b, target, 0, 6, 3, aligned=True)
+        assert assembled.payload_bytes() == target.payload_bytes()
+        # Gap PRBs are idle: exponent 0.
+        assert (assembled.exponents()[4:6] == 0).all()
+
+    def test_assemble_prbs_records_per_placement_cost(self, rng):
+        ctx = ActionContext(PacketCache())
+        a = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 2))
+        b = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 2))
+        ctx.assemble_prbs(6, [(a, 0), (b, 2)], a.compression)
+        kinds = ctx.trace.kinds()
+        assert kinds.count(ActionKind.PRB_COPY) == 2
+
+    def test_assemble_prbs_rejects_overflow(self, ctx, rng):
+        a = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 4))
+        with pytest.raises(ValueError):
+            ctx.assemble_prbs(5, [(a, 3)], a.compression)
+
+    def test_merge_iq_rejects_mixed_compression(self, ctx, rng):
+        from repro.fronthaul.compression import CompressionConfig
+
+        samples = random_prb_samples(rng, 3)
+        a = UPlaneSection.from_samples(0, 0, samples)
+        b = UPlaneSection.from_samples(
+            0, 0, samples, compression=CompressionConfig(iq_width=14)
+        )
+        with pytest.raises(ValueError, match="mixed compression"):
+            ctx.merge_iq([a, b])
+
+    def test_merge_iq_works_on_view_backed_sections(self, ctx, rng, du_mac,
+                                                    ru_mac):
+        """Merging sections parsed zero-copy from wire frames (the real
+        DAS uplink input) must behave like merging owned-bytes sections."""
+        from repro.fronthaul.packet import parse_packet
+
+        packets = [
+            make_uplane(rng, du_mac, ru_mac, n_prbs=5) for _ in range(3)
+        ]
+        parsed_sections = [
+            parse_packet(p.pack()).message.sections[0] for p in packets
+        ]
+        owned_sections = [p.message.sections[0] for p in packets]
+        via_views = ctx.merge_iq(parsed_sections)
+        via_owned = ctx.merge_iq(owned_sections)
+        assert via_views.payload_bytes() == via_owned.payload_bytes()

@@ -1,5 +1,8 @@
 """Block Floating Point compression tests (the Algorithm 1 substrate)."""
 
+import json
+import pathlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -8,11 +11,17 @@ from hypothesis.extra import numpy as hnp
 
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
+    MAX_WIRE_EXPONENT,
     NO_COMP_METH,
     SAMPLES_PER_PRB,
     BfpCompressor,
     CompressionConfig,
+    clear_codec_memo,
+    codec_memo_stats,
+    merge_payloads,
 )
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_bfp.json"
 
 
 class TestCompressionConfig:
@@ -185,3 +194,158 @@ class TestBfpRoundtrip:
         once = compressor.decompress(compressor.compress(samples), 3)
         twice = compressor.decompress(compressor.compress(once), 3)
         assert (once == twice).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=hnp.arrays(
+            dtype=np.int16,
+            shape=(4, 2 * SAMPLES_PER_PRB),
+            elements=st.integers(min_value=-32768, max_value=32767),
+        ),
+        iq_width=st.integers(min_value=2, max_value=16),
+    )
+    def test_roundtrip_all_widths_property(self, samples, iq_width):
+        """Property over EVERY mantissa width 2..16: quantization error is
+        bounded by one step and re-compressing the restored signal is
+        exactly idempotent (wire bytes included)."""
+        compressor = BfpCompressor(CompressionConfig(iq_width=iq_width))
+        wire = compressor.compress(samples)
+        restored = compressor.decompress(wire, len(samples))
+        steps = (1 << compressor.exponents_for(samples).astype(int))[:, None]
+        assert (
+            np.abs(restored.astype(int) - samples.astype(int)) <= steps
+        ).all()
+        rewire = compressor.compress(restored)
+        assert rewire == compressor.compress(
+            compressor.decompress(rewire, len(samples))
+        )
+
+
+class TestExponentOverflow:
+    """The wire nibble holds exponents 0..15; wider values must raise, not
+    be silently masked (the seed's ``& 0x0F`` corruption bug)."""
+
+    def test_int16_input_never_overflows(self, rng):
+        compressor = BfpCompressor(CompressionConfig(iq_width=2))
+        extremes = np.full((2, 24), -32768, dtype=np.int16)
+        exponents, _ = compressor.compress_array(extremes)
+        assert exponents.max() <= MAX_WIRE_EXPONENT
+
+    def test_wide_accumulator_raises(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        too_hot = np.full((1, 24), 1 << 25, dtype=np.int64)
+        with pytest.raises(ValueError, match="exceeds the 4-bit wire field"):
+            compressor.compress(too_hot)
+
+    def test_wide_accumulator_raises_in_compress_array(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=2))
+        too_hot = np.full((3, 24), 1 << 20, dtype=np.int64)
+        with pytest.raises(ValueError, match="exceeds the 4-bit wire field"):
+            compressor.compress_array(too_hot)
+
+    def test_saturated_input_compresses_fine(self):
+        compressor = BfpCompressor(CompressionConfig(iq_width=9))
+        hot = np.clip(
+            np.full((1, 24), 1 << 25, dtype=np.int64), -32768, 32767
+        )
+        wire = compressor.compress(hot)
+        assert len(wire) == compressor.config.prb_payload_bytes()
+
+
+class TestGoldenWireBytes:
+    """Wire-format compatibility: the vectorized codec must emit bytes
+    identical to the seed (pre-optimization) implementation, pinned in
+    ``golden_bfp.json`` for widths 8/9/14 and the uncompressed path."""
+
+    @pytest.fixture(scope="class")
+    def golden_cases(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_fixture_covers_required_configs(self, golden_cases):
+        widths = {
+            (case["iq_width"], case["comp_meth"]) for case in golden_cases
+        }
+        assert {(8, 1), (9, 1), (14, 1), (16, 0)} <= widths
+
+    def test_compress_matches_golden_bytes(self, golden_cases):
+        for case in golden_cases:
+            config = CompressionConfig(
+                iq_width=case["iq_width"], comp_meth=case["comp_meth"]
+            )
+            samples = np.array(case["samples"], dtype=np.int16)
+            wire = BfpCompressor(config).compress(samples)
+            assert wire.hex() == case["wire_hex"], case["label"]
+
+    def test_decompress_golden_roundtrip(self, golden_cases):
+        for case in golden_cases:
+            config = CompressionConfig(
+                iq_width=case["iq_width"], comp_meth=case["comp_meth"]
+            )
+            compressor = BfpCompressor(config)
+            wire = bytes.fromhex(case["wire_hex"])
+            restored = compressor.decompress(wire, case["n_prbs"])
+            # Golden wire bytes re-compress to themselves (idempotence).
+            assert compressor.compress(restored).hex() == case["wire_hex"]
+
+
+class TestCodecMemo:
+    """Repeated identical payloads (DAS replicate, RU-sharing demux) hit
+    the LRU memo instead of re-running the codec."""
+
+    def test_compress_memo_hit(self, rng):
+        clear_codec_memo()
+        compressor = BfpCompressor()
+        samples = rng.integers(-8000, 8000, size=(20, 24)).astype(np.int16)
+        first = compressor.compress(samples)
+        second = compressor.compress(samples)
+        assert first == second
+        stats = codec_memo_stats()
+        assert stats["compress_hits"] >= 1
+
+    def test_parse_memo_hit(self, rng):
+        clear_codec_memo()
+        compressor = BfpCompressor()
+        samples = rng.integers(-8000, 8000, size=(20, 24)).astype(np.int16)
+        wire = compressor.compress(samples)
+        exponents_a, mantissas_a = compressor.parse_wire(wire, 20)
+        exponents_b, mantissas_b = compressor.parse_wire(wire, 20)
+        assert mantissas_a is mantissas_b  # shared memo entry
+        assert not mantissas_a.flags.writeable
+        assert codec_memo_stats()["parse_hits"] >= 1
+
+    def test_memo_distinguishes_configs(self, rng):
+        clear_codec_memo()
+        samples = rng.integers(-100, 100, size=(4, 24)).astype(np.int16)
+        wire9 = BfpCompressor(CompressionConfig(iq_width=9)).compress(samples)
+        wire14 = BfpCompressor(CompressionConfig(iq_width=14)).compress(samples)
+        assert len(wire9) != len(wire14)
+
+
+class TestBatchedHelpers:
+    def test_decompress_stack_matches_sequential(self, rng):
+        compressor = BfpCompressor()
+        payloads = []
+        expected = []
+        for _ in range(4):
+            samples = rng.integers(-9000, 9000, size=(6, 24)).astype(np.int16)
+            wire = compressor.compress(samples)
+            payloads.append(wire)
+            expected.append(compressor.decompress(wire, 6))
+        stack = compressor.decompress_stack(payloads, 6)
+        assert stack.shape == (4, 6, 24)
+        assert (stack == np.stack(expected)).all()
+
+    def test_merge_payloads_matches_manual_sum(self, rng):
+        config = CompressionConfig(iq_width=9)
+        compressor = BfpCompressor(config)
+        operands = [
+            rng.integers(-8000, 8000, size=(5, 24)).astype(np.int16)
+            for _ in range(3)
+        ]
+        payloads = [compressor.compress(op) for op in operands]
+        merged_wire = merge_payloads(payloads, 5, config)
+        total = np.zeros((5, 24), dtype=np.int64)
+        for payload in payloads:
+            total += compressor.decompress(payload, 5)
+        manual = np.clip(total, -32768, 32767).astype(np.int16)
+        assert merged_wire == compressor.compress(manual)

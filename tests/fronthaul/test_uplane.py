@@ -67,6 +67,106 @@ class TestUPlaneSection:
         assert (updated.exponents() >= section.exponents()).all()
 
 
+class TestZeroCopyPaths:
+    """The vectorization PR's zero-copy contracts: lazy cached decodes,
+    payload reuse on untouched samples, and view-backed parsed sections."""
+
+    def test_iq_samples_cached_and_read_only(self, rng):
+        section = UPlaneSection.from_samples(
+            0, 0, random_prb_samples(rng, 6)
+        )
+        first = section.iq_samples()
+        assert first is section.iq_samples()  # lazy decode runs once
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0, 0] = 1
+
+    def test_replace_payload_fast_path_untouched_samples(self, rng):
+        """Samples straight from iq_samples(), never modified -> the new
+        section reuses the original wire bytes (zero codec work)."""
+        section = UPlaneSection.from_samples(
+            section_id=1, start_prb=40, samples=random_prb_samples(rng, 9)
+        )
+        untouched = section.iq_samples()
+        updated = section.replace_payload(untouched)
+        assert updated.payload is section.payload
+        assert updated.prb_range == section.prb_range
+
+    def test_replace_payload_slow_path_on_copy(self, rng):
+        """A .copy() of the decode (even unmodified) is recompressed —
+        identity, not equality, gates the fast path."""
+        section = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 5))
+        copied = section.iq_samples().copy()
+        updated = section.replace_payload(copied)
+        assert updated.payload is not section.payload
+        assert updated.payload_bytes() == section.payload_bytes()
+
+    def test_replace_payload_pack_roundtrip_misaligned_range(self, rng):
+        """The RU-sharing misaligned path: modified samples on a section
+        with an odd PRB range must survive pack()/unpack() byte-exactly."""
+        samples = random_prb_samples(rng, 7)
+        section = UPlaneSection.from_samples(
+            section_id=5, start_prb=131, samples=samples
+        )
+        shifted = section.iq_samples().copy()
+        shifted[2:5] = shifted[0:3]  # sample-level PRB move
+        updated = section.replace_payload(shifted)
+        packed = updated.pack()
+        parsed, _ = UPlaneSection.unpack(packed, 0)
+        assert parsed.start_prb == 131
+        assert parsed.num_prb == 7
+        assert parsed.payload_bytes() == updated.payload_bytes()
+        assert (parsed.iq_samples() == updated.iq_samples()).all()
+
+    def test_unpacked_section_is_view_backed(self, rng):
+        """Message parsing holds memoryview slices into the frame buffer
+        (zero-copy), and pack() reproduces the identical bytes."""
+        section = UPlaneSection.from_samples(
+            section_id=2, start_prb=10, samples=random_prb_samples(rng, 8)
+        )
+        message = UPlaneMessage(
+            direction=Direction.UPLINK,
+            time=SymbolTime(1, 2, 3, 4),
+            sections=[section],
+        )
+        wire = message.pack()
+        parsed = UPlaneMessage.unpack(wire)
+        assert isinstance(parsed.sections[0].payload, memoryview)
+        assert parsed.pack() == wire
+
+    def test_subsection_shares_wire_bytes(self, rng):
+        section = UPlaneSection.from_samples(
+            section_id=0, start_prb=20, samples=random_prb_samples(rng, 10)
+        )
+        sub = section.subsection(start_prb=23, num_prb=4)
+        assert sub.num_prb == 4
+        assert sub.payload_bytes() == b"".join(
+            section.prb_payload(prb) for prb in range(23, 27)
+        )
+        assert (sub.iq_samples() == section.iq_samples()[3:7]).all()
+
+    def test_prb_payload_view_bounds_checked(self, rng):
+        section = UPlaneSection.from_samples(0, 10, random_prb_samples(rng, 5))
+        with pytest.raises(ValueError):
+            section.prb_payload_view(9, 2)
+        with pytest.raises(ValueError):
+            section.prb_payload_view(14, 2)
+
+    def test_deepcopy_materializes_view(self, rng):
+        import copy
+
+        section = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, 4))
+        message = UPlaneMessage(
+            direction=Direction.DOWNLINK,
+            time=SymbolTime(0, 0, 0, 0),
+            sections=[section],
+        )
+        parsed = UPlaneMessage.unpack(message.pack())
+        clone = copy.deepcopy(parsed)
+        assert isinstance(clone.sections[0].payload, bytes)
+        assert clone.sections[0].payload_bytes() == section.payload_bytes()
+
+
 class TestUPlaneMessage:
     def make(self, rng, n_prbs=12, direction=Direction.DOWNLINK):
         section = UPlaneSection.from_samples(
