@@ -6,11 +6,9 @@ ground truth, showing why the paper's values sit at the sweet spot: too
 low counts uplink noise as utilization, too high misses real data.
 """
 
-import numpy as np
 from _harness import report
 
 from repro.eval.report import format_table
-from repro.fronthaul.cplane import Direction
 
 
 def sweep_thresholds(thresholds=(0, 1, 2, 3, 6, 10), load_mbps=40.0,

@@ -1,6 +1,5 @@
 """Benchmark: Figure 11 — floor-walk O1/O2/O3 comparison."""
 
-import numpy as np
 from _harness import report
 
 from repro.eval.fig11 import run_fig11

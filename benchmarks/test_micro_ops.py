@@ -22,7 +22,6 @@ from _harness import record_bench
 from repro.core.actions import ActionContext, PacketCache
 from repro.fronthaul.compression import (
     BfpCompressor,
-    CompressionConfig,
     _pack_bits,
     _sign_extend,
     _unpack_bits,

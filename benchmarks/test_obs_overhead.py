@@ -1,0 +1,128 @@
+"""Observability overhead: the disabled flight recorder must be ~free.
+
+The instrumentation PR's contract is that with observability *disabled*
+(the default), ``Middlebox.process`` pays one attribute read per packet
+over the seed implementation.  This bench keeps the seed's ``process``
+body verbatim as the baseline, times both on the same C-plane burst, and
+pins the ratio.  The *enabled* cost (metrics every packet, spans
+sampled) is also measured and reported for the record — it is allowed to
+be expensive; it just has to be opt-in.
+
+Results land in ``BENCH_1.json`` (machine-readable) and
+``benchmarks/output/obs_overhead.txt`` (the CI artifact).
+"""
+
+import time
+
+from _harness import record_bench, report
+
+from repro.core.actions import ActionContext
+from repro.core.middlebox import Middlebox, ProcessedPacket, classify
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import SymbolTime
+from repro.obs import Observability
+
+N_PACKETS = 400
+REPEATS = 15
+#: The disabled-path allowance: process() is dominated by handler and
+#: accounting work shared with the seed, so the enable-check must drown
+#: in run-to-run noise well before this bound.
+MAX_DISABLED_RATIO = 1.25
+
+
+class SeedMiddlebox(Middlebox):
+    """The seed's ``process`` body, kept verbatim as the baseline."""
+
+    def process(self, packet) -> ProcessedPacket:
+        wire_bytes = packet.wire_size
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += wire_bytes
+        ctx = ActionContext(self.cache, self.cost_model)
+        if packet.is_cplane:
+            self.on_cplane(ctx, packet)
+        else:
+            self.on_uplane(ctx, packet)
+        if not ctx.emissions:
+            self.stats.dropped_packets += 1
+        self.stats.account_tx(ctx.emissions)
+        self.stats.processing_ns_total += ctx.trace.total_ns()
+        traffic_class = classify(packet)
+        self.traces.append(ctx.trace)
+        self.trace_wire_bytes.append(wire_bytes)
+        self.traces_by_class.setdefault(traffic_class, []).append(ctx.trace)
+        return ProcessedPacket(
+            emissions=ctx.emissions, trace=ctx.trace,
+            traffic_class=traffic_class,
+        )
+
+
+def _burst():
+    src, dst = MacAddress.from_int(1), MacAddress.from_int(2)
+    return [
+        make_packet(
+            src, dst,
+            CPlaneMessage(
+                direction=Direction.DOWNLINK,
+                time=SymbolTime(0, 0, 0, symbol % 14),
+                sections=[CPlaneSection(0, 0, 50)],
+            ),
+            seq_id=symbol % 256,
+        )
+        for symbol in range(N_PACKETS)
+    ]
+
+
+def _best_burst_seconds(box: Middlebox) -> float:
+    packets = _burst()
+    box.process_burst(packets)  # warm up
+    best = float("inf")
+    for _ in range(REPEATS):
+        box.reset_traces()
+        box.traces_by_class.clear()
+        start = time.perf_counter()
+        for packet in packets:
+            box.process(packet)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_observability_overhead():
+    seed_s = _best_burst_seconds(SeedMiddlebox())
+    disabled_s = _best_burst_seconds(Middlebox())
+    enabled_s = _best_burst_seconds(
+        Middlebox(obs=Observability(enabled=True, sample_every=16))
+    )
+    per_packet_ns = lambda total_s: total_s / N_PACKETS * 1e9  # noqa: E731
+    ratio = disabled_s / seed_s
+    enabled_ratio = enabled_s / seed_s
+    record_bench(
+        "obs_overhead",
+        {
+            "n_packets": N_PACKETS,
+            "seed_per_packet_ns": round(per_packet_ns(seed_s), 1),
+            "disabled_per_packet_ns": round(per_packet_ns(disabled_s), 1),
+            "enabled_per_packet_ns": round(per_packet_ns(enabled_s), 1),
+            "disabled_ratio": round(ratio, 3),
+            "enabled_ratio": round(enabled_ratio, 3),
+        },
+    )
+    report(
+        "obs_overhead",
+        "\n".join(
+            [
+                "observability overhead (per-packet process(), best of "
+                f"{REPEATS} x {N_PACKETS}-packet bursts)",
+                f"  seed (pre-instrumentation)  {per_packet_ns(seed_s):8.0f} ns",
+                f"  instrumented, obs disabled  {per_packet_ns(disabled_s):8.0f} ns"
+                f"  ({ratio:.2f}x seed)",
+                f"  instrumented, obs enabled   {per_packet_ns(enabled_s):8.0f} ns"
+                f"  ({enabled_ratio:.2f}x seed, 1-in-16 span sampling)",
+            ]
+        ),
+    )
+    assert ratio < MAX_DISABLED_RATIO, (
+        f"disabled observability costs {ratio:.2f}x the seed process() "
+        f"(allowed < {MAX_DISABLED_RATIO}x)"
+    )

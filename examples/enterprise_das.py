@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.eval.throughput import DeployedCell, UePlacement, evaluate_network
 from repro.phy.channel import ChannelModel
-from repro.phy.geometry import FloorPlan, Position, WalkPath
+from repro.phy.geometry import FloorPlan, WalkPath
 from repro.ran.cell import CellConfig
 from repro.ran.ue import AttachError, UserEquipment
 from repro.sim.cost import DeploymentCost

@@ -7,11 +7,16 @@ then renders the telemetry timeline as an ASCII dashboard next to the
 scheduler's ground truth — the kind of feed an energy-saving or load-
 balancing application would consume.
 
+The run is instrumented with the flight recorder (:mod:`repro.obs`): the
+final section renders the live counter/gauge table from the exposition
+module, exactly what a scraper would read off ``/metrics``.
+
 Run:  python examples/prb_dashboard.py
 """
 
 from repro.apps.prb_monitor import TELEMETRY_TOPIC, PrbMonitorMiddlebox
 from repro.fronthaul.cplane import Direction
+from repro.obs import Observability, render_dashboard
 from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
@@ -28,18 +33,19 @@ def main() -> None:
     ru = RadioUnit(ru_id=1, config=RuConfig(num_prb=cell.num_prb,
                                             n_antennas=1),
                    mac=du.ru_mac, du_mac=du.mac)
-    monitor = PrbMonitorMiddlebox(carrier_num_prb=cell.num_prb)
+    # Arm the flight recorder for this run: metrics + sampled spans.
+    obs = Observability(enabled=True, sample_every=16)
+    monitor = PrbMonitorMiddlebox(carrier_num_prb=cell.num_prb, obs=obs)
     du.scheduler.add_ue("ue", dl_layers=4)
     du.scheduler.update_ue_quality("ue", dl_aggregate_se=16.0, ul_se=3.0)
 
     # Subscribe to the telemetry feed like a RIC application would.
     live_samples = []
-    monitor.telemetry.subscribe(
-        TELEMETRY_TOPIC,
-        lambda record: live_samples.append(
-            (record.timestamp_ns, record.payload.utilization)
-        ),
-    )
+
+    def on_sample(record) -> None:
+        live_samples.append((record.timestamp_ns, record.payload.utilization))
+
+    monitor.telemetry.subscribe(TELEMETRY_TOPIC, on_sample)
 
     network = FronthaulNetwork(middleboxes=[monitor])
     network.add_du(du)
@@ -70,11 +76,20 @@ def main() -> None:
         bar = "#" * int(estimate * BAR_WIDTH)
         print(f"{rate_mbps:7.0f}M  {estimate:8.1%}  {truth:6.1%}  |{bar}")
 
+    # Detach like a well-behaved RIC app (no leaked callbacks on reuse).
+    monitor.telemetry.unsubscribe(TELEMETRY_TOPIC, on_sample)
+
     print()
     first, last = live_samples[0][0], live_samples[-1][0]
     rate = len(live_samples) / ((last - first) / 1e9) if last > first else 0
     print(f"Telemetry feed: {len(live_samples)} samples, "
           f"{rate:,.0f} samples/s (sub-millisecond granularity)")
+
+    # The operator view: live counters/gauges from the metrics registry.
+    print()
+    print(render_dashboard(obs.registry, title="prb monitor observability"))
+    print(f"flight recorder: {len(obs.recorder)} spans retained "
+          f"(1-in-{obs.sample_every} sampling), {obs.recorder.evicted} evicted")
 
 
 if __name__ == "__main__":

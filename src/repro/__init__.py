@@ -13,6 +13,8 @@ on a simulated substrate:
 - :mod:`repro.apps` -- the four reference middleboxes (DAS, dMIMO,
   RU sharing, PRB monitoring).
 - :mod:`repro.net` -- NIC/switch/link models (SR-IOV chaining substrate).
+- :mod:`repro.obs` -- the fronthaul flight recorder: metrics registry,
+  per-packet span tracing, exposition, deadline accounting.
 - :mod:`repro.sim` -- discrete-event engine, testbed builder, power & cost.
 - :mod:`repro.eval` -- one experiment runner per paper table/figure.
 """
@@ -26,6 +28,7 @@ __all__ = [
     "core",
     "apps",
     "net",
+    "obs",
     "sim",
     "eval",
 ]

@@ -109,6 +109,19 @@ class DasMiddlebox(Middlebox):
         if occupancy < len(ru_macs):
             return
         cached = ctx.cache_pop_all(key)
+        if self.obs.enabled:
+            registry = self.obs.registry
+            registry.histogram(
+                "das_merge_fanin",
+                "RU packets combined per uplink merge",
+                labels=("middlebox",),
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+            ).labels(self.name).observe(len(cached))
+            registry.counter(
+                "das_merged_symbols_total",
+                "completed uplink IQ merges",
+                labels=("middlebox",),
+            ).labels(self.name).inc()
         merged_sections = self._merge_sections(ctx, [p for _, p in cached])
         merged = UPlaneMessage(
             direction=Direction.UPLINK,
@@ -162,4 +175,17 @@ class DasMiddlebox(Middlebox):
         for key in stale:
             self.cache.discard(key)
         self.missed_merge_deadlines += len(stale)
+        if self.obs.enabled:
+            registry = self.obs.registry
+            if stale:
+                registry.counter(
+                    "das_missed_merge_deadlines_total",
+                    "uplink merges abandoned at the slot deadline",
+                    labels=("middlebox",),
+                ).labels(self.name).inc(len(stale))
+            registry.gauge(
+                "das_pending_merges",
+                "uplink symbols still waiting for RU packets",
+                labels=("middlebox",),
+            ).labels(self.name).set(len(self.cache.keys()))
         return len(stale)

@@ -163,6 +163,7 @@ class DmimoMiddlebox(Middlebox):
         ru_mac, local_port = self.port_map.to_local(global_port)
         if local_port != global_port:
             ctx.set_ru_port(packet, local_port)
+        self._count_remap("DL", rewritten=local_port != global_port)
         ctx.forward(packet, dst=ru_mac, src=self.mac)
 
     def _uplink_remap(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
@@ -172,7 +173,18 @@ class DmimoMiddlebox(Middlebox):
         global_port = self.port_map.to_global(source, local_port)
         if global_port != local_port:
             ctx.set_ru_port(packet, global_port)
+        self._count_remap("UL", rewritten=global_port != local_port)
         ctx.forward(packet, dst=self.du_mac, src=self.mac)
+
+    def _count_remap(self, direction: str, rewritten: bool) -> None:
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "dmimo_remaps_total",
+                "antenna-port remaps through the combining middlebox",
+                labels=("middlebox", "direction", "rewritten"),
+            ).labels(
+                self.name, direction, "yes" if rewritten else "no"
+            ).inc()
 
     # -- SSB replication ------------------------------------------------------------
 

@@ -113,6 +113,21 @@ class PrbMonitorMiddlebox(Middlebox):
             timestamp_ns=packet.time.ns(self.numerology),
             source=self.name,
         )
+        if self.obs.enabled:
+            registry = self.obs.registry
+            direction_label = (
+                "DL" if direction is Direction.DOWNLINK else "UL"
+            )
+            registry.counter(
+                "prb_monitor_publishes_total",
+                "utilization estimates published on the telemetry bus",
+                labels=("middlebox", "direction"),
+            ).labels(self.name, direction_label).inc()
+            registry.gauge(
+                "prb_utilization",
+                "latest estimated PRB utilization (0..1)",
+                labels=("middlebox", "direction"),
+            ).labels(self.name, direction_label).set(estimate.utilization)
 
     # -- aggregation (what applications consume) -------------------------------------
 

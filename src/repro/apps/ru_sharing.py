@@ -112,6 +112,29 @@ class RuSharingMiddlebox(Middlebox):
     ) -> List[int]:
         return sorted(self._cplane.get((direction, slot_key, port), {}))
 
+    def _count_copy(self, aligned: bool) -> None:
+        if aligned:
+            self.aligned_copies += 1
+        else:
+            self.misaligned_copies += 1
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "ru_sharing_prb_copies_total",
+                "PRB relocations by grid alignment (Figure 6 fast/slow path)",
+                labels=("middlebox", "mode"),
+            ).labels(self.name, "aligned" if aligned else "misaligned").inc()
+
+    def _observe_mux_occupancy(self) -> None:
+        """Export how much per-symbol mux state is parked in the caches."""
+        gauge = self.obs.registry.gauge(
+            "ru_sharing_mux_occupancy",
+            "cached entries awaiting their mux/demux counterparts",
+            labels=("middlebox", "kind"),
+        )
+        gauge.labels(self.name, "cplane").set(len(self._cplane))
+        gauge.labels(self.name, "dl_uplane").set(len(self._dl_uplane))
+        gauge.labels(self.name, "prach").set(len(self._prach_cplane))
+
     # -- handlers ------------------------------------------------------------
 
     def on_cplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
@@ -124,6 +147,8 @@ class RuSharingMiddlebox(Middlebox):
             self._handle_prach_cplane(ctx, packet, du)
         else:
             self._handle_data_cplane(ctx, packet, du)
+        if self.obs.enabled:
+            self._observe_mux_occupancy()
 
     def on_uplane(self, ctx: ActionContext, packet: FronthaulPacket) -> None:
         if packet.direction is Direction.DOWNLINK:
@@ -137,6 +162,8 @@ class RuSharingMiddlebox(Middlebox):
                 self._handle_prach_uplane(ctx, packet)
             else:
                 self._handle_ul_uplane(ctx, packet)
+        if self.obs.enabled:
+            self._observe_mux_occupancy()
 
     # -- Algorithm 2: data C-plane ------------------------------------------------
 
@@ -201,12 +228,12 @@ class RuSharingMiddlebox(Middlebox):
             offset = du.prb_offset_in(self.ru_grid)
             for section in source_packet.message.sections:
                 if du.is_aligned_with(self.ru_grid):
-                    self.aligned_copies += 1
+                    self._count_copy(aligned=True)
                     aligned_placements.append(
                         (section, int(round(offset)) + section.start_prb)
                     )
                 else:
-                    self.misaligned_copies += 1
+                    self._count_copy(aligned=False)
                     misaligned.append((section, offset))
         target = ctx.assemble_prbs(
             num_prb=self.ru_grid.num_prb,
@@ -271,7 +298,7 @@ class RuSharingMiddlebox(Middlebox):
         sections_out: List[UPlaneSection] = []
         for section in packet.message.sections:
             if du.is_aligned_with(self.ru_grid):
-                self.aligned_copies += 1
+                self._count_copy(aligned=True)
                 # Zero-copy carve-out: the DU section shares the RU
                 # packet's wire bytes instead of round-tripping through a
                 # zero-filled target section.
@@ -285,7 +312,7 @@ class RuSharingMiddlebox(Middlebox):
                     )
                 )
             else:
-                self.misaligned_copies += 1
+                self._count_copy(aligned=False)
                 samples = ctx.decompress(section)
                 flat = samples.reshape(-1, 2)
                 sc_offset = int(round(offset * SAMPLES_PER_PRB))

@@ -26,7 +26,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
-from repro.fronthaul.compression import BfpCompressor, merge_payloads
+from repro.fronthaul.compression import merge_payloads
 from repro.fronthaul.cplane import CPlaneMessage
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import FronthaulPacket

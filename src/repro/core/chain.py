@@ -5,6 +5,10 @@ endpoints (DUs, RUs) and middlebox virtual functions attach to ports, and
 frames are delivered by destination MAC.  A :class:`MiddleboxChain` runs
 packets through an ordered sequence of middleboxes — the RU-sharing ⊕ DAS
 composition of Figure 12 is exactly ``MiddleboxChain([sharing, das])``.
+
+Both are instrumented against :mod:`repro.obs`: the switch keeps per-port
+byte/packet/drop counters, the chain records per-stage latency
+propagation (how modelled latency accumulates along the chain).
 """
 
 from __future__ import annotations
@@ -13,9 +17,11 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as obs_module
 from repro.core.middlebox import Middlebox
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import FronthaulPacket
+from repro.obs import Observability
 
 
 class PortRole(enum.Enum):
@@ -34,6 +40,11 @@ class SwitchPort:
     deliver: Callable[[FronthaulPacket], None]
     tx_bytes: int = 0
     rx_bytes: int = 0
+    tx_packets: int = 0
+    rx_packets: int = 0
+    #: Frames this port injected that died in the fabric (unknown MAC or
+    #: hairpin back to the sender).
+    dropped_frames: int = 0
 
 
 class SwitchLoopError(Exception):
@@ -51,7 +62,11 @@ class FronthaulSwitch:
 
     MAX_HOPS = 16
 
-    def __init__(self):
+    def __init__(
+        self, name: str = "fabric", obs: Optional[Observability] = None
+    ):
+        self.name = name
+        self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
         self._ports: Dict[str, SwitchPort] = {}
         self._mac_table: Dict[int, str] = {}
         self._interpositions: Dict[int, List[str]] = {}
@@ -87,6 +102,15 @@ class FronthaulSwitch:
                 )
             chain.append(middlebox_port)
 
+    def _count_drop(self, from_port: str) -> None:
+        self._ports[from_port].dropped_frames += 1
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "switch_drops_total",
+                "frames that died in the switch fabric per injecting port",
+                labels=("switch", "port"),
+            ).labels(self.name, from_port).inc()
+
     def inject(
         self,
         packet: FronthaulPacket,
@@ -97,6 +121,12 @@ class FronthaulSwitch:
         """Switch a frame: deliver to the next interposed middlebox or the
         endpoint owning the destination MAC."""
         if _hops > self.MAX_HOPS:
+            if self.obs.enabled:
+                self.obs.registry.counter(
+                    "switch_loop_errors_total",
+                    "frames killed by the hop-count loop guard",
+                    labels=("switch",),
+                ).labels(self.name).inc()
             raise SwitchLoopError(f"frame exceeded {self.MAX_HOPS} hops")
         dst = packet.eth.dst.to_int()
         chain = self._interpositions.get(dst, [])
@@ -109,13 +139,34 @@ class FronthaulSwitch:
         else:
             owner = self._mac_table.get(dst)
             if owner is None:
+                self._count_drop(from_port)
                 return  # unknown MAC: flood suppressed, frame dies
             target = self._ports[owner]
             if target.name == from_port:
+                self._count_drop(from_port)
                 return
         size = packet.wire_size
-        self._ports[from_port].tx_bytes += size
+        source = self._ports[from_port]
+        source.tx_bytes += size
+        source.tx_packets += 1
         target.rx_bytes += size
+        target.rx_packets += 1
+        if self.obs.enabled:
+            registry = self.obs.registry
+            bytes_total = registry.counter(
+                "switch_port_bytes_total",
+                "wire bytes per switch port and direction",
+                labels=("switch", "port", "direction"),
+            )
+            packets_total = registry.counter(
+                "switch_port_packets_total",
+                "frames per switch port and direction",
+                labels=("switch", "port", "direction"),
+            )
+            bytes_total.labels(self.name, from_port, "tx").inc(size)
+            bytes_total.labels(self.name, target.name, "rx").inc(size)
+            packets_total.labels(self.name, from_port, "tx").inc()
+            packets_total.labels(self.name, target.name, "rx").inc()
         target.deliver(packet)
 
     def port(self, name: str) -> SwitchPort:
@@ -131,28 +182,72 @@ class MiddleboxChain:
     ``process_downlink`` pushes packets through boxes in order (towards
     the RUs); ``process_uplink`` through the reverse order (towards the
     DUs), matching Figure 8's bidirectional chain over one NIC.
+
+    When observability is enabled, every burst records per-stage latency
+    propagation: the modelled time each stage added and the cumulative
+    latency a packet has accumulated when it leaves that stage.
     """
 
-    def __init__(self, middleboxes: Sequence[Middlebox]):
+    def __init__(
+        self,
+        middleboxes: Sequence[Middlebox],
+        name: str = "chain",
+        obs: Optional[Observability] = None,
+    ):
         if not middleboxes:
             raise ValueError("a chain needs at least one middlebox")
         self.middleboxes = list(middleboxes)
+        self.name = name
+        self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
+        for stage, middlebox in enumerate(self.middleboxes):
+            middlebox.chain_stage = stage
+
+    def _run(
+        self, packets: List[FronthaulPacket], boxes: Sequence[Middlebox],
+        direction: str,
+    ) -> List[FronthaulPacket]:
+        current = list(packets)
+        if not self.obs.enabled:
+            for middlebox in boxes:
+                current = middlebox.process_burst(current)
+            return current
+        registry = self.obs.registry
+        stage_ns = registry.histogram(
+            "chain_stage_burst_ns",
+            "modelled processing added by each chain stage per burst",
+            labels=("chain", "stage", "direction"),
+        )
+        cumulative_ns = registry.histogram(
+            "chain_cumulative_burst_ns",
+            "modelled latency accumulated through the chain per burst",
+            labels=("chain", "stage", "direction"),
+        )
+        packets_total = registry.counter(
+            "chain_packets_total",
+            "packets entering the chain per direction",
+            labels=("chain", "direction"),
+        )
+        packets_total.labels(self.name, direction).inc(len(current))
+        cumulative = 0.0
+        for middlebox in boxes:
+            before_ns = middlebox.stats.processing_ns_total
+            current = middlebox.process_burst(current)
+            added = middlebox.stats.processing_ns_total - before_ns
+            cumulative += added
+            stage = f"{middlebox.chain_stage}:{middlebox.name}"
+            stage_ns.labels(self.name, stage, direction).observe(added)
+            cumulative_ns.labels(self.name, stage, direction).observe(cumulative)
+        return current
 
     def process_downlink(
         self, packets: List[FronthaulPacket]
     ) -> List[FronthaulPacket]:
-        current = list(packets)
-        for middlebox in self.middleboxes:
-            current = middlebox.process_burst(current)
-        return current
+        return self._run(packets, self.middleboxes, "DL")
 
     def process_uplink(
         self, packets: List[FronthaulPacket]
     ) -> List[FronthaulPacket]:
-        current = list(packets)
-        for middlebox in reversed(self.middleboxes):
-            current = middlebox.process_burst(current)
-        return current
+        return self._run(packets, list(reversed(self.middleboxes)), "UL")
 
     def total_processing_ns(self) -> float:
         return sum(m.stats.processing_ns_total for m in self.middleboxes)

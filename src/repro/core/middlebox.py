@@ -3,9 +3,11 @@
 Developers subclass :class:`Middlebox` and implement ``on_cplane`` /
 ``on_uplane`` handlers using the :class:`~repro.core.actions.ActionContext`
 API.  The base class supplies everything else: the packet cache, telemetry
-and management interfaces, statistics, and the per-packet action traces
-the datapath models consume.  All four reference applications of the paper
-(and this repo) are built from this one template.
+and management interfaces, statistics, the per-packet action traces the
+datapath models consume, and the flight-recorder instrumentation
+(:mod:`repro.obs`) every packet is accounted against when observability
+is enabled.  All four reference applications of the paper (and this repo)
+are built from this one template.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs as obs_module
 from repro.core.actions import (
     ActionContext,
     ActionTrace,
@@ -24,6 +27,7 @@ from repro.core.management import ManagementInterface
 from repro.core.telemetry import TelemetryBus
 from repro.fronthaul.cplane import Direction
 from repro.fronthaul.packet import FronthaulPacket
+from repro.obs import Observability, PacketSpan, SpanEvent, SpanKey
 
 
 @dataclass
@@ -37,9 +41,19 @@ class MiddleboxStats:
     tx_bytes: int = 0
     processing_ns_total: float = 0.0
 
-    def account_tx(self, emissions: List[Emission]) -> None:
+    def account_rx(self, packet: FronthaulPacket) -> int:
+        """Count one received packet; returns its wire size in bytes."""
+        wire_bytes = packet.wire_size
+        self.rx_packets += 1
+        self.rx_bytes += wire_bytes
+        return wire_bytes
+
+    def account_tx(self, emissions: List[Emission]) -> int:
+        """Count emitted packets; returns the emitted wire bytes."""
+        tx_bytes = sum(e.packet.wire_size for e in emissions)
         self.tx_packets += len(emissions)
-        self.tx_bytes += sum(e.packet.wire_size for e in emissions)
+        self.tx_bytes += tx_bytes
+        return tx_bytes
 
 
 @dataclass
@@ -58,6 +72,10 @@ class Middlebox:
     default for both is transparent forwarding, so an empty subclass is a
     valid (pass-through) middlebox.  ``carrier_num_prb`` gives handlers
     the context to resolve ``numPrb=0`` wire encodings.
+
+    ``obs`` is the observability handle packets are accounted against;
+    it defaults to the module-level (disabled) handle, in which case the
+    per-packet cost is a single attribute check.
     """
 
     #: Human-readable application name (overridden by subclasses).
@@ -68,10 +86,12 @@ class Middlebox:
         name: str = "",
         telemetry: Optional[TelemetryBus] = None,
         cost_model: ActionCostModel = DEFAULT_COST_MODEL,
+        obs: Optional[Observability] = None,
     ):
         self.name = name or self.app_name
         self.telemetry = telemetry or TelemetryBus()
         self.cost_model = cost_model
+        self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
         self.cache = PacketCache()
         self.management = ManagementInterface(owner=self.name)
         self.stats = MiddleboxStats()
@@ -80,6 +100,8 @@ class Middlebox:
         self.trace_wire_bytes: List[int] = []
         #: Per-traffic-class traces for the Figure 15b breakdown.
         self.traces_by_class: Dict[str, List[ActionTrace]] = {}
+        #: Position in an enclosing chain (set by MiddleboxChain).
+        self.chain_stage: int = 0
 
     # -- handler hooks ---------------------------------------------------------
 
@@ -93,9 +115,10 @@ class Middlebox:
 
     def process(self, packet: FronthaulPacket) -> ProcessedPacket:
         """Run one packet through the handler; returns emissions + trace."""
-        wire_bytes = packet.wire_size
-        self.stats.rx_packets += 1
-        self.stats.rx_bytes += wire_bytes
+        obs = self.obs
+        recording = obs.enabled
+        start_ns = obs.clock() if recording else 0
+        wire_bytes = self.stats.account_rx(packet)
         ctx = ActionContext(self.cache, self.cost_model)
         if packet.is_cplane:
             self.on_cplane(ctx, packet)
@@ -103,15 +126,101 @@ class Middlebox:
             self.on_uplane(ctx, packet)
         if not ctx.emissions:
             self.stats.dropped_packets += 1
-        self.stats.account_tx(ctx.emissions)
-        self.stats.processing_ns_total += ctx.trace.total_ns()
+        tx_bytes = self.stats.account_tx(ctx.emissions)
+        modeled_ns = ctx.trace.total_ns()
+        self.stats.processing_ns_total += modeled_ns
         traffic_class = classify(packet)
         self.traces.append(ctx.trace)
         self.trace_wire_bytes.append(wire_bytes)
         self.traces_by_class.setdefault(traffic_class, []).append(ctx.trace)
+        if recording:
+            self._observe(
+                obs, packet, ctx, traffic_class, wire_bytes, tx_bytes,
+                modeled_ns, start_ns,
+            )
         return ProcessedPacket(
             emissions=ctx.emissions, trace=ctx.trace, traffic_class=traffic_class
         )
+
+    def _observe(
+        self,
+        obs: Observability,
+        packet: FronthaulPacket,
+        ctx: ActionContext,
+        traffic_class: str,
+        wire_bytes: int,
+        tx_bytes: int,
+        modeled_ns: float,
+        start_ns: int,
+    ) -> None:
+        """Account one processed packet in the metrics registry and, when
+        sampled, leave a span in the flight recorder."""
+        wall_ns = obs.clock() - start_ns
+        registry = obs.registry
+        registry.counter(
+            "middlebox_packets_total",
+            "packets processed per middlebox and traffic class",
+            labels=("middlebox", "class"),
+        ).labels(self.name, traffic_class).inc()
+        byte_counter = registry.counter(
+            "middlebox_bytes_total",
+            "wire bytes through each middlebox by direction",
+            labels=("middlebox", "direction"),
+        )
+        byte_counter.labels(self.name, "rx").inc(wire_bytes)
+        if tx_bytes:
+            byte_counter.labels(self.name, "tx").inc(tx_bytes)
+        if not ctx.emissions:
+            registry.counter(
+                "middlebox_drops_total",
+                "packets absorbed (no emission) per middlebox",
+                labels=("middlebox",),
+            ).labels(self.name).inc()
+        registry.histogram(
+            "middlebox_modeled_ns",
+            "modelled per-packet processing time (ActionCostModel)",
+            labels=("middlebox", "class"),
+        ).labels(self.name, traffic_class).observe(modeled_ns)
+        registry.histogram(
+            "middlebox_wall_ns",
+            "measured per-packet wall time of this Python implementation",
+            labels=("middlebox", "class"),
+        ).labels(self.name, traffic_class).observe(wall_ns)
+        if obs.should_sample():
+            time = packet.time
+            obs.recorder.record(
+                PacketSpan(
+                    key=SpanKey(
+                        eaxc=packet.ecpri.eaxc.to_int(),
+                        frame=time.frame,
+                        subframe=time.subframe,
+                        slot=time.slot,
+                        symbol=time.symbol,
+                        direction=(
+                            "DL"
+                            if packet.direction is Direction.DOWNLINK
+                            else "UL"
+                        ),
+                        seq=packet.ecpri.seq_id,
+                    ),
+                    middlebox=self.name,
+                    traffic_class=traffic_class,
+                    modeled_ns=modeled_ns,
+                    wall_ns=float(wall_ns),
+                    start_ns=start_ns,
+                    events=tuple(
+                        SpanEvent(
+                            kind=event.kind.value,
+                            cost_ns=event.cost_ns,
+                            location=event.location.value,
+                        )
+                        for event in ctx.trace.events
+                    ),
+                    emitted=len(ctx.emissions),
+                    dropped=not ctx.emissions,
+                    stage=self.chain_stage,
+                )
+            )
 
     def process_burst(
         self, packets: List[FronthaulPacket]

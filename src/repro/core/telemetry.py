@@ -9,9 +9,9 @@ harnesses subscribe to.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Deque, Dict, List
 
 
 @dataclass(frozen=True)
@@ -25,14 +25,24 @@ class TelemetryRecord:
 
 
 class TelemetryBus:
-    """In-process pub/sub with per-topic retained history."""
+    """In-process pub/sub with per-topic retained history.
+
+    History is a bounded ``deque`` per topic, so publishing stays O(1)
+    even once a long run saturates the retention limit (the old list
+    implementation re-sliced the whole history on every publish past the
+    limit).
+    """
 
     def __init__(self, history_limit: int = 100_000):
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
         self._subscribers: Dict[str, List[Callable[[TelemetryRecord], None]]] = (
             defaultdict(list)
         )
-        self._history: Dict[str, List[TelemetryRecord]] = defaultdict(list)
         self._history_limit = history_limit
+        self._history: Dict[str, Deque[TelemetryRecord]] = defaultdict(
+            lambda: deque(maxlen=history_limit)
+        )
 
     def publish(
         self, topic: str, payload: Any, timestamp_ns: float = 0.0, source: str = ""
@@ -40,10 +50,7 @@ class TelemetryBus:
         record = TelemetryRecord(
             topic=topic, timestamp_ns=timestamp_ns, payload=payload, source=source
         )
-        history = self._history[topic]
-        history.append(record)
-        if len(history) > self._history_limit:
-            del history[: len(history) - self._history_limit]
+        self._history[topic].append(record)
         for callback in self._subscribers[topic]:
             callback(record)
         return record
@@ -52,6 +59,22 @@ class TelemetryBus:
         self, topic: str, callback: Callable[[TelemetryRecord], None]
     ) -> None:
         self._subscribers[topic].append(callback)
+
+    def unsubscribe(
+        self, topic: str, callback: Callable[[TelemetryRecord], None]
+    ) -> None:
+        """Remove a previously registered callback.
+
+        Experiment harnesses subscribe per run; without this they leaked
+        callbacks (and their captured state) across runs on a shared bus.
+        Raises ``ValueError`` if the callback is not subscribed.
+        """
+        try:
+            self._subscribers[topic].remove(callback)
+        except ValueError:
+            raise ValueError(
+                f"callback not subscribed to topic {topic!r}"
+            ) from None
 
     def history(self, topic: str) -> List[TelemetryRecord]:
         return list(self._history[topic])

@@ -20,7 +20,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.fig12 import run_fig12
     from repro.eval.fig13 import run_fig13
     from repro.eval.fig14 import run_fig14
-    from repro.eval.fig15 import run_fig15a, run_fig15b
+    from repro.eval.fig15 import run_fig15a, run_fig15a_measured, run_fig15b
     from repro.eval.fig16 import run_fig16
     from repro.eval.table2 import run_table2
 
@@ -34,6 +34,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "fig13": lambda: run_fig13().format(),
         "fig14": lambda: run_fig14().format(),
         "fig15a": lambda: run_fig15a().format(),
+        "fig15a_measured": lambda: run_fig15a_measured().format(),
         "fig15b": lambda: run_fig15b().format(),
         "fig16": lambda: run_fig16().format(),
         "appendix_a1": lambda: run_sharing_math().format(),

@@ -16,9 +16,12 @@ majority (~75%) and an expensive decompress+sum+recompress merge tail of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs import DeadlineAccountant
 
 from repro.core.datapath import ScalabilityPoint, cores_required
 from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
@@ -147,6 +150,84 @@ class Fig15bResult:
             ("RUs", "traffic", "median", "p75", "max"),
             rows,
         )
+
+
+@dataclass
+class Fig15aMeasuredResult:
+    """Observable Figure 15a: per-chain latency budgets from live runs."""
+
+    accountants: Dict[int, "DeadlineAccountant"]
+    registry_text: str = ""
+
+    def format(self) -> str:
+        blocks = []
+        for n_rus in sorted(self.accountants):
+            accountant = self.accountants[n_rus]
+            blocks.append(
+                accountant.budget_report(
+                    title=f"Figure 15a (measured): DAS chain, {n_rus} RUs"
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig15a_measured(
+    ru_counts=(2, 3, 4),
+    n_slots: int = 4,
+    seed: int = 29,
+    budget_ns: float = SLOT_BUDGET_NS,
+) -> Fig15aMeasuredResult:
+    """The deadline-accounting version of Figure 15a: run the real DAS
+    middlebox per RU count with the flight recorder armed and account
+    every slot's modelled latency against the fronthaul budget."""
+    from repro.apps.das import DasMiddlebox
+    from repro.fronthaul.cplane import Direction
+    from repro.obs import DeadlineAccountant, Observability, render_prometheus
+    from repro.ran.du import DistributedUnit
+    from repro.ran.ru import RadioUnit, RuConfig
+    from repro.ran.traffic import ConstantBitrateFlow
+    from repro.sim.network_sim import FronthaulNetwork
+
+    accountants: Dict[int, DeadlineAccountant] = {}
+    obs = Observability(enabled=True)
+    for n_rus in ru_counts:
+        cell = CellConfig(pci=1)
+        du = DistributedUnit(du_id=1, cell=cell, symbols_per_slot=1, seed=seed)
+        rus = [
+            RadioUnit(
+                ru_id=index,
+                config=RuConfig(num_prb=cell.num_prb,
+                                n_antennas=cell.n_antennas),
+                du_mac=du.mac,
+                seed=seed,
+            )
+            for index in range(n_rus)
+        ]
+        das = DasMiddlebox(
+            du_mac=du.mac,
+            ru_macs=[ru.mac for ru in rus],
+            name=f"das-{n_rus}ru",
+            obs=obs,
+        )
+        du.scheduler.add_ue("ue", dl_layers=4)
+        du.scheduler.update_ue_quality("ue", dl_aggregate_se=16.0, ul_se=3.0)
+        du.attach_flow("ue", ConstantBitrateFlow(800, "dl"),
+                       Direction.DOWNLINK)
+        du.attach_flow("ue", ConstantBitrateFlow(60, "ul"), Direction.UPLINK)
+        accountant = DeadlineAccountant(
+            numerology=cell.numerology, budget_ns=budget_ns, obs=obs
+        )
+        network = FronthaulNetwork(
+            middleboxes=[das], deadline_accountant=accountant
+        )
+        network.add_du(du)
+        for ru in rus:
+            network.add_ru(ru)
+        network.run(n_slots)
+        accountants[n_rus] = accountant
+    return Fig15aMeasuredResult(
+        accountants=accountants, registry_text=render_prometheus(obs.registry)
+    )
 
 
 def run_fig15b(

@@ -9,11 +9,12 @@ within port capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.chain import FronthaulSwitch, PortRole
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import FronthaulPacket
+from repro.obs import Observability
 
 
 @dataclass
@@ -25,9 +26,11 @@ class PortSpec:
 class EthernetSwitch:
     """Capacity-tracked Ethernet switch for DU/RU/middlebox attachment."""
 
-    def __init__(self, name: str = "arista7050"):
+    def __init__(
+        self, name: str = "arista7050", obs: Optional[Observability] = None
+    ):
         self.name = name
-        self.fabric = FronthaulSwitch()
+        self.fabric = FronthaulSwitch(name=name, obs=obs)
         self._capacity: Dict[str, float] = {}
 
     def attach(

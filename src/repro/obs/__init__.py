@@ -1,0 +1,154 @@
+"""The fronthaul flight recorder: metrics, tracing, deadline accounting.
+
+RANBooster middleboxes "expose monitoring and management interfaces ...
+to send telemetry data to applications" (Section 3.2).  This package is
+that layer made first-class:
+
+- :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry with label
+  sets and atomic snapshots;
+- :mod:`repro.obs.recorder` — per-packet span traces keyed by
+  ``(eAxC, frame/slot/symbol, direction, seq)`` in a bounded ring,
+  exportable as JSONL and Chrome ``trace_event`` JSON;
+- :mod:`repro.obs.exposition` — Prometheus text / JSON / plain-text
+  dashboard renderers;
+- :mod:`repro.obs.deadline` — per-slot modelled latency vs the O-RAN
+  symbol-timing windows (the observable Figure 15a).
+
+The whole datapath (middleboxes, chains, the embedded switch, the event
+engine, the four reference apps) is instrumented against one
+:class:`Observability` handle.  **Disabled is the default and must stay
+near-free**: every instrumentation site guards on ``obs.enabled`` — a
+single attribute read — before touching the registry or recorder, and
+the overhead is pinned by ``benchmarks/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.deadline import (
+    DeadlineAccountant,
+    SLOT_BUDGET_NS,
+    SlotAccount,
+    account_middleboxes,
+)
+from repro.obs.exposition import (
+    render_dashboard,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_NS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder, PacketSpan, SpanEvent, SpanKey
+
+
+class Observability:
+    """One handle bundling the registry, the recorder, and the switch.
+
+    ``enabled`` is the master switch every instrumentation site checks
+    first; with it False the datapath pays one attribute read per packet.
+    ``sample_every`` decimates span recording (metrics always count every
+    packet once enabled; spans can be sampled because they are the
+    expensive part).  ``clock`` returns integer nanoseconds and is
+    injectable so golden tests produce deterministic traces.
+    """
+
+    __slots__ = (
+        "enabled",
+        "registry",
+        "recorder",
+        "sample_every",
+        "clock",
+        "_ticket",
+    )
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        recorder: Optional[FlightRecorder] = None,
+        sample_every: int = 1,
+        clock=time.perf_counter_ns,
+    ):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = (
+            recorder if recorder is not None else FlightRecorder(clock=clock)
+        )
+        self.sample_every = sample_every
+        self.clock = clock
+        self._ticket = 0
+
+    def enable(self) -> "Observability":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Observability":
+        self.enabled = False
+        return self
+
+    def should_sample(self) -> bool:
+        """Span-sampling decision: every ``sample_every``-th packet."""
+        self._ticket += 1
+        if self.sample_every == 1:
+            return True
+        return self._ticket % self.sample_every == 1
+
+    def reset(self) -> None:
+        """Drop all collected series and spans (between experiment runs)."""
+        self.registry.clear()
+        self.recorder.clear()
+        self._ticket = 0
+
+
+#: The module-level default handle: instrumented components fall back to
+#: this when not given their own.  Disabled by default — production-off,
+#: like a real flight recorder armed only when asked.
+DEFAULT_OBSERVABILITY = Observability(enabled=False)
+
+
+def get_observability() -> Observability:
+    return DEFAULT_OBSERVABILITY
+
+
+def enable(sample_every: int = 1) -> Observability:
+    """Arm the default handle (convenience for scripts and examples)."""
+    DEFAULT_OBSERVABILITY.sample_every = sample_every
+    return DEFAULT_OBSERVABILITY.enable()
+
+
+def disable() -> Observability:
+    return DEFAULT_OBSERVABILITY.disable()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_NS_BUCKETS",
+    "DEFAULT_OBSERVABILITY",
+    "DeadlineAccountant",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "PacketSpan",
+    "SLOT_BUDGET_NS",
+    "SlotAccount",
+    "SpanEvent",
+    "SpanKey",
+    "account_middleboxes",
+    "disable",
+    "enable",
+    "get_observability",
+    "render_dashboard",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,175 @@
+"""Deadline accounting: modelled middlebox latency vs O-RAN timing windows.
+
+Fronthaul receive windows are symbol-scale (Section 2.2): a middlebox
+chain that adds more processing latency than the per-slot budget makes
+the DU/RU miss their windows.  Figure 15a does this analysis analytically
+for the DAS middlebox; this module makes it *observable* — every slot of
+a live run is checked against the budget and violations become counters
+any scraper can alarm on.
+
+The budget defaults to the paper's 30 us per-slot allowance and is capped
+by the numerology's own symbol window (a chain slower than one symbol
+duration can never keep up, regardless of allowance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.fronthaul.timing import Numerology
+
+#: Paper budget for added middlebox processing per slot (Section 6.4.1).
+SLOT_BUDGET_NS = 30_000.0
+
+
+@dataclass(frozen=True)
+class SlotAccount:
+    """The latency account of one slot: per-stage and total modelled ns."""
+
+    absolute_slot: int
+    per_stage_ns: Dict[str, float]
+    budget_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.per_stage_ns.values())
+
+    @property
+    def violated(self) -> bool:
+        return self.total_ns > self.budget_ns
+
+    @property
+    def headroom_ns(self) -> float:
+        return self.budget_ns - self.total_ns
+
+
+class DeadlineAccountant:
+    """Per-slot latency budget checks over a middlebox chain.
+
+    Feed it one :meth:`observe_slot` per processed slot (the simulator
+    does this automatically when an accountant is attached to a
+    :class:`~repro.sim.network_sim.FronthaulNetwork`); it keeps the
+    per-slot accounts and, when an :class:`~repro.obs.Observability` is
+    attached, emits ``fronthaul_deadline_checks_total`` /
+    ``fronthaul_deadline_violations_total`` counters and a headroom gauge.
+    """
+
+    def __init__(
+        self,
+        numerology: Numerology = Numerology(mu=1),
+        budget_ns: Optional[float] = None,
+        obs=None,
+    ):
+        self.numerology = numerology
+        if budget_ns is None:
+            # Paper allowance, never beyond the symbol receive window.
+            budget_ns = min(SLOT_BUDGET_NS, numerology.symbol_duration_ns)
+        self.budget_ns = budget_ns
+        self.obs = obs
+        self.accounts: List[SlotAccount] = []
+        self.violations = 0
+
+    def observe_slot(
+        self, absolute_slot: int, per_stage_ns: Mapping[str, float]
+    ) -> SlotAccount:
+        """Check one slot's accumulated modelled latency against budget."""
+        account = SlotAccount(
+            absolute_slot=absolute_slot,
+            per_stage_ns=dict(per_stage_ns),
+            budget_ns=self.budget_ns,
+        )
+        self.accounts.append(account)
+        if account.violated:
+            self.violations += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            registry = obs.registry
+            registry.counter(
+                "fronthaul_deadline_checks_total",
+                "slots checked against the fronthaul latency budget",
+            ).inc()
+            if account.violated:
+                registry.counter(
+                    "fronthaul_deadline_violations_total",
+                    "slots whose modelled middlebox latency exceeded budget",
+                ).inc()
+            registry.gauge(
+                "fronthaul_deadline_headroom_ns",
+                "remaining latency budget of the most recent slot",
+            ).set(account.headroom_ns)
+            stage_hist = registry.histogram(
+                "fronthaul_stage_slot_ns",
+                "per-slot modelled processing time by chain stage",
+                labels=("stage",),
+            )
+            for stage, spent_ns in account.per_stage_ns.items():
+                stage_hist.labels(stage).observe(spent_ns)
+        return account
+
+    # -- aggregate views -----------------------------------------------------
+
+    def violation_rate(self) -> float:
+        if not self.accounts:
+            return 0.0
+        return self.violations / len(self.accounts)
+
+    def worst_slot(self) -> Optional[SlotAccount]:
+        if not self.accounts:
+            return None
+        return max(self.accounts, key=lambda account: account.total_ns)
+
+    def stage_means_ns(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for account in self.accounts:
+            for stage, spent_ns in account.per_stage_ns.items():
+                totals[stage] = totals.get(stage, 0.0) + spent_ns
+        n = len(self.accounts)
+        return {stage: total / n for stage, total in totals.items()}
+
+    def budget_report(self, title: str = "per-chain latency budget") -> str:
+        """Figure 15a-style text report: per-stage means vs the budget."""
+        lines = [title, "-" * max(len(title), 48)]
+        means = self.stage_means_ns()
+        cumulative = 0.0
+        for stage in sorted(means):
+            cumulative += means[stage]
+            share = means[stage] / self.budget_ns
+            lines.append(
+                f"  {stage:<28} {means[stage] / 1000.0:>8.2f} us"
+                f"  (cum {cumulative / 1000.0:>7.2f} us, {share:>5.1%} of budget)"
+            )
+        worst = self.worst_slot()
+        lines.append(
+            f"  {'budget (per slot)':<28} {self.budget_ns / 1000.0:>8.2f} us"
+        )
+        if worst is not None:
+            lines.append(
+                f"  worst slot {worst.absolute_slot}: "
+                f"{worst.total_ns / 1000.0:.2f} us"
+                f" ({'VIOLATED' if worst.violated else 'ok'})"
+            )
+        lines.append(
+            f"  slots checked: {len(self.accounts)}, "
+            f"violations: {self.violations} ({self.violation_rate():.1%})"
+        )
+        return "\n".join(lines)
+
+
+def account_middleboxes(
+    middleboxes: Sequence, previous_totals: Sequence[float]
+) -> Dict[str, float]:
+    """Per-stage modelled ns spent since ``previous_totals`` was sampled.
+
+    Helper for slot loops: sample ``stats.processing_ns_total`` before the
+    slot, call this after, feed the result to :meth:`observe_slot`.
+    Stage names are made unique with their chain position so two
+    same-named boxes don't merge.
+    """
+    per_stage: Dict[str, float] = {}
+    for index, (middlebox, before_ns) in enumerate(
+        zip(middleboxes, previous_totals)
+    ):
+        stage = f"{index}:{middlebox.name}"
+        per_stage[stage] = middlebox.stats.processing_ns_total - before_ns
+    return per_stage

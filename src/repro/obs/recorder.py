@@ -1,0 +1,225 @@
+"""Per-packet flight recorder: span traces in a bounded ring buffer.
+
+Each packet that traverses an instrumented middlebox leaves one
+:class:`PacketSpan` keyed by the fronthaul coordinates that identify the
+frame on the wire — ``(eAxC, frame/subframe/slot/symbol, direction,
+seq)`` — carrying the per-action event list (kind, modelled cost,
+kernel/userspace location) plus the measured Python wall time.  The ring
+buffer bounds memory on long runs: the recorder always holds the most
+recent ``capacity`` spans, like a crash-survivable flight recorder loop.
+
+Exports: JSONL (one span per line, grep/jq-able) and the Chrome
+``trace_event`` format, so a run can be dropped straight into
+``chrome://tracing`` / Perfetto with one span per middlebox track.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SpanKey:
+    """The wire identity of one fronthaul frame."""
+
+    eaxc: int
+    frame: int
+    subframe: int
+    slot: int
+    symbol: int
+    direction: str  # "DL" / "UL"
+    seq: int
+
+    def slot_key(self) -> Tuple[int, int, int]:
+        return (self.frame, self.subframe, self.slot)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "eaxc": self.eaxc,
+            "frame": self.frame,
+            "subframe": self.subframe,
+            "slot": self.slot,
+            "symbol": self.symbol,
+            "direction": self.direction,
+            "seq": self.seq,
+        }
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One action inside a span: kind, modelled cost, execution location."""
+
+    kind: str
+    cost_ns: float
+    location: str
+
+
+@dataclass
+class PacketSpan:
+    """One packet's traversal of one middlebox."""
+
+    key: SpanKey
+    middlebox: str
+    traffic_class: str
+    modeled_ns: float
+    wall_ns: float
+    start_ns: int
+    events: Tuple[SpanEvent, ...] = ()
+    emitted: int = 0
+    dropped: bool = False
+    stage: int = 0  # position in the middlebox chain (0 = first)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = self.key.as_dict()
+        record.update(
+            {
+                "middlebox": self.middlebox,
+                "class": self.traffic_class,
+                "stage": self.stage,
+                "modeled_ns": round(self.modeled_ns, 3),
+                "wall_ns": round(self.wall_ns, 3),
+                "start_ns": self.start_ns,
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "events": [
+                    {
+                        "kind": event.kind,
+                        "cost_ns": round(event.cost_ns, 3),
+                        "location": event.location,
+                    }
+                    for event in self.events
+                ],
+            }
+        )
+        return record
+
+
+@dataclass
+class FlightRecorder:
+    """Bounded ring of :class:`PacketSpan` records.
+
+    ``clock`` returns integer nanoseconds; tests inject a fake for
+    deterministic golden traces.  ``capacity`` bounds memory: the ring
+    keeps the newest spans and ``evicted`` counts how many rolled off.
+    """
+
+    capacity: int = 4096
+    clock: Callable[[], int] = time.perf_counter_ns
+    _spans: Deque[PacketSpan] = field(init=False, repr=False)
+    evicted: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._spans = deque(maxlen=self.capacity)
+
+    def now(self) -> int:
+        return self.clock()
+
+    def record(self, span: PacketSpan) -> None:
+        if len(self._spans) == self.capacity:
+            self.evicted += 1
+        self._spans.append(span)
+
+    def spans(self) -> List[PacketSpan]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.evicted = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def find(
+        self,
+        middlebox: Optional[str] = None,
+        direction: Optional[str] = None,
+        traffic_class: Optional[str] = None,
+        slot_key: Optional[Tuple[int, int, int]] = None,
+        dropped: Optional[bool] = None,
+    ) -> List[PacketSpan]:
+        """Filter retained spans by any combination of coordinates."""
+        out = []
+        for span in self._spans:
+            if middlebox is not None and span.middlebox != middlebox:
+                continue
+            if direction is not None and span.key.direction != direction:
+                continue
+            if traffic_class is not None and span.traffic_class != traffic_class:
+                continue
+            if slot_key is not None and span.key.slot_key() != slot_key:
+                continue
+            if dropped is not None and span.dropped != dropped:
+                continue
+            out.append(span)
+        return out
+
+    def packet_journey(self, key: SpanKey) -> List[PacketSpan]:
+        """Every retained span of one wire frame, in chain-stage order —
+        the per-packet latency propagation view across a middlebox chain."""
+        return sorted(
+            (s for s in self._spans if s.key == key),
+            key=lambda s: (s.stage, s.start_ns),
+        )
+
+    # -- exports -------------------------------------------------------------
+
+    def to_jsonl(self, spans: Optional[Iterable[PacketSpan]] = None) -> str:
+        """One JSON object per line, oldest span first."""
+        selected = self._spans if spans is None else spans
+        return "\n".join(
+            json.dumps(span.as_dict(), sort_keys=True) for span in selected
+        )
+
+    def to_chrome_trace(
+        self, spans: Optional[Iterable[PacketSpan]] = None
+    ) -> str:
+        """Chrome ``trace_event`` JSON: one complete ("X") event per span.
+
+        Tracks (tid) are middlebox names; timestamps are microseconds as
+        the format requires.  Load via ``chrome://tracing`` or Perfetto.
+        """
+        selected = list(self._spans if spans is None else spans)
+        tids = {
+            name: index
+            for index, name in enumerate(
+                sorted({span.middlebox for span in selected})
+            )
+        }
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            }
+            for name, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        for span in selected:
+            events.append(
+                {
+                    "name": f"{span.traffic_class} {span.key.direction}",
+                    "cat": span.middlebox,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tids[span.middlebox],
+                    "ts": span.start_ns / 1000.0,
+                    "dur": max(span.wall_ns, 1.0) / 1000.0,
+                    "args": {
+                        **span.key.as_dict(),
+                        "modeled_ns": span.modeled_ns,
+                        "emitted": span.emitted,
+                        "dropped": span.dropped,
+                        "actions": [event.kind for event in span.events],
+                    },
+                }
+            )
+        return json.dumps({"traceEvents": events}, sort_keys=True)

@@ -13,7 +13,7 @@ port only (the property the dMIMO middlebox's SSB replication fixes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -5,6 +5,10 @@ directly; the engine exists for latency-sensitive scenarios (deadline
 checks, chained-middlebox delays) and for tests that need out-of-order
 packet arrival (e.g. a secondary RU's uplink arriving before the
 primary's).
+
+When an :class:`~repro.obs.Observability` handle is attached and
+enabled, the engine exports queue-depth and event-lag series (how long
+events sat in the queue in simulated time) to the metrics registry.
 """
 
 from __future__ import annotations
@@ -14,6 +18,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs as obs_module
+from repro.obs import Observability
+
 
 @dataclass(order=True)
 class Event:
@@ -21,12 +28,15 @@ class Event:
     sequence: int
     action: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
+    #: Engine time when the event was scheduled (for queue-lag metrics).
+    created_ns: float = field(compare=False, default=0.0)
 
 
 class EventEngine:
     """Priority-queue event loop; deterministic FIFO tie-breaking."""
 
-    def __init__(self):
+    def __init__(self, obs: Optional[Observability] = None):
+        self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
         self._queue: List[Event] = []
         self._counter = itertools.count()
         self.now_ns: float = 0.0
@@ -38,27 +48,30 @@ class EventEngine:
         """Schedule ``action`` at ``now + delay_ns``."""
         if delay_ns < 0:
             raise ValueError("cannot schedule into the past")
-        event = Event(
-            time_ns=self.now_ns + delay_ns,
-            sequence=next(self._counter),
-            action=action,
-            label=label,
-        )
-        heapq.heappush(self._queue, event)
-        return event
+        return self._push(self.now_ns + delay_ns, action, label)
 
     def schedule_at(
         self, time_ns: float, action: Callable[[], None], label: str = ""
     ) -> Event:
         if time_ns < self.now_ns:
             raise ValueError("cannot schedule into the past")
+        return self._push(time_ns, action, label)
+
+    def _push(
+        self, time_ns: float, action: Callable[[], None], label: str
+    ) -> Event:
         event = Event(
             time_ns=time_ns,
             sequence=next(self._counter),
             action=action,
             label=label,
+            created_ns=self.now_ns,
         )
         heapq.heappush(self._queue, event)
+        if self.obs.enabled:
+            self.obs.registry.gauge(
+                "engine_queue_depth", "pending events in the event engine"
+            ).set(len(self._queue))
         return event
 
     def run(self, until_ns: Optional[float] = None, max_events: int = 10_000_000) -> int:
@@ -66,12 +79,26 @@ class EventEngine:
 
         Returns the number of events processed.
         """
+        obs = self.obs
         processed = 0
         while self._queue and processed < max_events:
             if until_ns is not None and self._queue[0].time_ns > until_ns:
                 break
             event = heapq.heappop(self._queue)
             self.now_ns = event.time_ns
+            if obs.enabled:
+                registry = obs.registry
+                registry.counter(
+                    "engine_events_total", "events executed by the engine"
+                ).inc()
+                registry.histogram(
+                    "engine_event_lag_ns",
+                    "simulated time events waited between scheduling and "
+                    "execution",
+                ).observe(event.time_ns - event.created_ns)
+                registry.gauge(
+                    "engine_queue_depth", "pending events in the event engine"
+                ).set(len(self._queue))
             event.action()
             processed += 1
         self.processed += processed

@@ -13,8 +13,11 @@ antenna receives the gain-weighted sum of all UE transmissions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.deadline import DeadlineAccountant
 
 import numpy as np
 
@@ -124,12 +127,16 @@ class FronthaulNetwork:
         self,
         middleboxes: Sequence[Middlebox] = (),
         environment: Optional[RadioEnvironment] = None,
+        deadline_accountant: Optional["DeadlineAccountant"] = None,
     ):
         self.middleboxes = list(middleboxes)
         self.environment = environment or RadioEnvironment()
         self._dus: Dict[int, DistributedUnit] = {}
         self._rus: Dict[int, Tuple[RadioUnit, Position]] = {}
         self.reports: List[SlotReport] = []
+        #: Optional per-slot latency budget checker (repro.obs.deadline):
+        #: fed every slot's per-stage modelled processing time.
+        self.deadline_accountant = deadline_accountant
 
     def add_du(self, du: DistributedUnit) -> None:
         self._dus[du.mac.to_int()] = du
@@ -169,6 +176,9 @@ class FronthaulNetwork:
             raise RuntimeError("no DUs in the network")
         absolute_slot = next(iter(self._dus.values())).clock.current_slot
         report = SlotReport(absolute_slot=absolute_slot)
+        processing_before = [
+            m.stats.processing_ns_total for m in self.middleboxes
+        ]
 
         downlink: List[FronthaulPacket] = []
         for du in self._dus.values():
@@ -204,6 +214,13 @@ class FronthaulNetwork:
             du.receive(packet)
             report.ul_packets += 1
 
+        if self.deadline_accountant is not None:
+            from repro.obs.deadline import account_middleboxes
+
+            self.deadline_accountant.observe_slot(
+                absolute_slot,
+                account_middleboxes(self.middleboxes, processing_before),
+            )
         self.reports.append(report)
         return report
 

@@ -1,6 +1,5 @@
 """dMIMO middlebox unit tests (Section 4.2)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.dmimo import DmimoMiddlebox, RuPortMap, SsbSchedule

@@ -6,8 +6,6 @@ both the declared design placement and that the *measured* action traces
 of each app's data path agree with it.
 """
 
-import numpy as np
-import pytest
 
 from repro.apps.das import DasMiddlebox
 from repro.apps.dmimo import DmimoMiddlebox, RuPortMap

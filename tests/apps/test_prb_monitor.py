@@ -6,7 +6,6 @@ import pytest
 from repro.apps.prb_monitor import TELEMETRY_TOPIC, PrbMonitorMiddlebox
 from repro.fronthaul.cplane import Direction
 from repro.fronthaul.ecpri import EAxCId
-from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import make_packet
 from repro.fronthaul.timing import SymbolTime
 from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection

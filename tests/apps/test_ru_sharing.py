@@ -10,7 +10,6 @@ from repro.fronthaul.cplane import (
     Direction,
     SectionType,
 )
-from repro.fronthaul.ecpri import EAxCId
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import make_packet
 from repro.fronthaul.spectrum import PrbGrid, split_ru_spectrum

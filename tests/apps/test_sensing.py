@@ -5,7 +5,6 @@ import pytest
 
 from repro.apps.sensing import TELEMETRY_TOPIC, SpectrumSensorMiddlebox
 from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
-from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import make_packet
 from repro.fronthaul.timing import SymbolTime
 from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection

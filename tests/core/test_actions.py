@@ -6,7 +6,6 @@ import pytest
 from repro.core.actions import (
     ActionContext,
     ActionKind,
-    ExecLocation,
     PacketCache,
 )
 from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction

@@ -10,7 +10,7 @@ from repro.core.datapath import (
     cores_required,
     deadline_violated,
 )
-from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
+from repro.core.latency import DEFAULT_COST_MODEL
 
 
 def trace_of(*kinds_costs):

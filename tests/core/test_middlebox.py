@@ -1,11 +1,8 @@
 """Middlebox template tests."""
 
-import pytest
 
-from repro.core.actions import ActionContext
 from repro.core.middlebox import Middlebox, classify
 from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
-from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import make_packet
 from repro.fronthaul.timing import SymbolTime
 from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection

@@ -50,6 +50,41 @@ class TestTelemetryBus:
         bus.publish("t", 1, source="das-1")
         assert bus.latest("t").source == "das-1"
 
+    def test_history_trims_oldest_first(self):
+        bus = TelemetryBus(history_limit=3)
+        for i in range(5):
+            bus.publish("t", i)
+        assert [r.payload for r in bus.history("t")] == [2, 3, 4]
+
+    def test_history_limit_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryBus(history_limit=0)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = TelemetryBus()
+        seen = []
+        callback = seen.append
+        bus.subscribe("t", callback)
+        bus.publish("t", 1)
+        bus.unsubscribe("t", callback)
+        bus.publish("t", 2)
+        assert [r.payload for r in seen] == [1]
+
+    def test_unsubscribe_unknown_callback_raises(self):
+        bus = TelemetryBus()
+        with pytest.raises(ValueError, match="not subscribed"):
+            bus.unsubscribe("t", lambda record: None)
+
+    def test_unsubscribe_removes_one_registration(self):
+        bus = TelemetryBus()
+        seen = []
+        callback = seen.append
+        bus.subscribe("t", callback)
+        bus.subscribe("t", callback)
+        bus.unsubscribe("t", callback)
+        bus.publish("t", 1)
+        assert len(seen) == 1
+
 
 class TestManagementInterface:
     def test_declare_get_set(self):

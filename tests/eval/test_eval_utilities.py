@@ -1,6 +1,5 @@
 """Tests for eval helpers: report formatting, wire sizing, the CLI."""
 
-import pytest
 
 from repro.eval.fig15 import cplane_wire_bytes, uplane_wire_bytes
 from repro.eval.report import format_table

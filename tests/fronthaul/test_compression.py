@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.fronthaul.compression import (
-    BFP_COMP_METH,
     MAX_WIRE_EXPONENT,
     NO_COMP_METH,
     SAMPLES_PER_PRB,

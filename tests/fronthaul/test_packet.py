@@ -1,6 +1,5 @@
 """Full fronthaul frame tests: Ethernet + eCPRI + message."""
 
-import numpy as np
 import pytest
 
 from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction

@@ -5,12 +5,10 @@ middlebox (fan-out to the four RUs) and then through per-RU sharing
 middleboxes (multiplexing the two MNOs onto each RU).
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.das import DasMiddlebox
 from repro.apps.ru_sharing import RuSharingMiddlebox, SharedDuConfig
-from repro.core.chain import MiddleboxChain
 from repro.fronthaul.cplane import Direction
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.spectrum import PrbGrid, split_ru_spectrum
@@ -18,7 +16,6 @@ from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
 from repro.ran.traffic import ConstantBitrateFlow
-from repro.sim.network_sim import FronthaulNetwork
 
 RU_GRID = PrbGrid(3.46e9, 273)
 N_RUS = 2  # two shared RUs keep the packet-level test fast
@@ -91,8 +88,6 @@ class TestChainedDeployment:
         # Sharing boxes identify DUs by the DAS-emitted virtual MACs, so
         # the DAS stage must stamp per-(mno, ru) source addresses; we
         # emulate the VF wiring by rewriting sources after fan-out.
-        from repro.fronthaul.packet import FronthaulPacket
-
         reports = []
         for _ in range(n_slots):
             downlink = []

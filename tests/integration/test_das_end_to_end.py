@@ -13,7 +13,6 @@ from repro.fronthaul.compression import SAMPLES_PER_PRB
 from repro.fronthaul.cplane import Direction
 from repro.phy.geometry import Position
 from repro.phy.iq import QamModulator, int16_to_iq
-from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
 from repro.ran.traffic import ConstantBitrateFlow

@@ -6,8 +6,6 @@ a dead DU is replaced by the standby within milliseconds while traffic
 keeps flowing.
 """
 
-import numpy as np
-import pytest
 
 from repro.apps.das import DasMiddlebox
 from repro.apps.resilience import ResilienceMiddlebox

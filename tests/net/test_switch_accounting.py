@@ -1,0 +1,135 @@
+"""Per-port accounting and loop-guard coverage for the embedded switch.
+
+The core chain tests exercise delivery semantics; these pin down the
+accounting surface the observability layer reads: per-port tx/rx byte
+and packet counters, dropped-frame counts, and the metric mirrors kept
+in the registry when a :class:`~repro.obs.Observability` is armed.
+"""
+
+import pytest
+
+from repro.core.chain import FronthaulSwitch, PortRole, SwitchLoopError
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import SymbolTime
+from repro.obs import Observability
+
+
+def packet(src, dst):
+    return make_packet(
+        src, dst,
+        CPlaneMessage(
+            direction=Direction.DOWNLINK,
+            time=SymbolTime(0, 0, 0, 0),
+            sections=[CPlaneSection(0, 0, 50)],
+        ),
+    )
+
+
+@pytest.fixture
+def fabric():
+    switch = FronthaulSwitch(name="fab0", obs=Observability(enabled=True))
+    du_mac = MacAddress.from_int(1)
+    ru_mac = MacAddress.from_int(2)
+    du_rx, ru_rx = [], []
+    switch.attach("du", PortRole.DU, [du_mac], du_rx.append)
+    switch.attach("ru", PortRole.RU, [ru_mac], ru_rx.append)
+    return switch, du_mac, ru_mac, du_rx, ru_rx
+
+
+def _series(switch, metric):
+    snap = switch.obs.registry.snapshot()
+    return snap[metric]["series"] if metric in snap else {}
+
+
+class TestPerPortAccounting:
+    def test_tx_rx_bytes_and_packets(self, fabric):
+        switch, du_mac, ru_mac, _, ru_rx = fabric
+        frame = packet(du_mac, ru_mac)
+        for _ in range(3):
+            switch.inject(packet(du_mac, ru_mac), "du")
+        du, ru = switch.port("du"), switch.port("ru")
+        assert du.tx_packets == 3 and du.tx_bytes == 3 * frame.wire_size
+        assert ru.rx_packets == 3 and ru.rx_bytes == 3 * frame.wire_size
+        assert du.rx_bytes == 0 and ru.tx_bytes == 0
+        assert len(ru_rx) == 3
+
+    def test_interposed_hop_counts_both_legs(self, fabric):
+        switch, du_mac, ru_mac, _, _ = fabric
+        box_rx = []
+        switch.attach("mb", PortRole.MIDDLEBOX, [], box_rx.append)
+        switch.interpose("mb", [ru_mac])
+        frame = packet(du_mac, ru_mac)
+        switch.inject(frame, "du")
+        switch.inject(box_rx[0], "mb")
+        mb = switch.port("mb")
+        # The middlebox port both receives (DU leg) and transmits (RU leg).
+        assert mb.rx_packets == 1 and mb.tx_packets == 1
+        assert mb.rx_bytes == frame.wire_size
+        assert mb.tx_bytes == frame.wire_size
+        assert switch.port("ru").rx_packets == 1
+
+    def test_metric_mirrors_match_port_counters(self, fabric):
+        switch, du_mac, ru_mac, _, _ = fabric
+        frame = packet(du_mac, ru_mac)
+        switch.inject(frame, "du")
+        by = _series(switch, "switch_port_bytes_total")
+        pk = _series(switch, "switch_port_packets_total")
+        assert by["fab0,du,tx"] == frame.wire_size
+        assert by["fab0,ru,rx"] == frame.wire_size
+        assert pk["fab0,du,tx"] == 1
+        assert pk["fab0,ru,rx"] == 1
+
+    def test_unknown_mac_counts_drop(self, fabric):
+        switch, du_mac, _, _, _ = fabric
+        switch.inject(packet(du_mac, MacAddress.from_int(99)), "du")
+        du = switch.port("du")
+        assert du.dropped_frames == 1
+        # Dropped frames never reach the byte/packet counters.
+        assert du.tx_bytes == 0 and du.tx_packets == 0
+        drops = _series(switch, "switch_drops_total")
+        assert drops["fab0,du"] == 1
+
+    def test_hairpin_to_sender_counts_drop(self, fabric):
+        switch, du_mac, _, du_rx, _ = fabric
+        switch.inject(packet(du_mac, du_mac), "du")
+        assert not du_rx
+        assert switch.port("du").dropped_frames == 1
+
+    def test_disabled_obs_keeps_port_counters_only(self):
+        switch = FronthaulSwitch()
+        du_mac, ru_mac = MacAddress.from_int(1), MacAddress.from_int(2)
+        switch.attach("du", PortRole.DU, [du_mac], lambda p: None)
+        switch.attach("ru", PortRole.RU, [ru_mac], lambda p: None)
+        frame = packet(du_mac, ru_mac)
+        switch.inject(frame, "du")
+        assert switch.port("du").tx_bytes == frame.wire_size
+        assert switch.obs.registry.snapshot() == {}
+
+
+class TestLoopGuard:
+    def test_loop_guard_raises_and_counts(self, fabric):
+        switch, du_mac, ru_mac, _, _ = fabric
+        switch.attach(
+            "loop", PortRole.MIDDLEBOX, [],
+            lambda p: switch.inject(p, "du", _hops=99),
+        )
+        switch.interpose("loop", [ru_mac])
+        with pytest.raises(SwitchLoopError):
+            switch.inject(packet(du_mac, ru_mac), "du")
+        errors = _series(switch, "switch_loop_errors_total")
+        assert errors["fab0"] == 1
+
+    def test_reinjection_after_middlebox_is_not_a_loop(self, fabric):
+        switch, du_mac, ru_mac, _, ru_rx = fabric
+        hops = []
+
+        def relay(p):
+            hops.append(p)
+            switch.inject(p, "mb0", _hops=len(hops))
+
+        switch.attach("mb0", PortRole.MIDDLEBOX, [], relay)
+        switch.interpose("mb0", [ru_mac])
+        switch.inject(packet(du_mac, ru_mac), "du")
+        assert ru_rx and len(hops) == 1

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ran.ptp import (
-    OffsetSample,
     PtpMessageType,
     PtpPath,
     PtpSession,

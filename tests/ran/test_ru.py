@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.fronthaul.cplane import Direction
-from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
 from repro.ran.traffic import ConstantBitrateFlow

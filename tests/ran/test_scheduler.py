@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fronthaul.cplane import Direction
-from repro.ran.cell import CellConfig
 from repro.ran.scheduler import MacScheduler
 from repro.ran.stacks import SRSRAN
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.phy.channel import ChannelModel, LinkBudget
+from repro.phy.channel import ChannelModel
 from repro.phy.geometry import FloorPlan, Position
 from repro.ran.core_network import CoreNetwork
 from repro.ran.ue import AttachError, CellView, UserEquipment

@@ -6,7 +6,6 @@ import pytest
 from repro.core.middlebox import Middlebox
 from repro.fronthaul.cplane import Direction
 from repro.phy.geometry import Position
-from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
 from repro.ran.traffic import ConstantBitrateFlow
