@@ -15,10 +15,12 @@ layer and the combination is interference-free.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.actions import ActionContext, ExecLocation
 from repro.core.middlebox import Middlebox
+from repro.faults.sequence import SeqVerdict, SequenceTracker
 from repro.fronthaul.cplane import Direction
 from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.packet import FronthaulPacket
@@ -42,6 +44,7 @@ class DasMiddlebox(Middlebox):
         du_mac: MacAddress,
         ru_macs: Sequence[MacAddress],
         mac: Optional[MacAddress] = None,
+        partial_merge: bool = False,
         **kwargs,
     ):
         super().__init__(**kwargs)
@@ -54,10 +57,31 @@ class DasMiddlebox(Middlebox):
             list(ru_macs),
             validator=lambda value: bool(value),
         )
+        #: When enabled, the deadline sweep merges whatever subset of RU
+        #: packets arrived in time (a *degraded* merge: reduced combining
+        #: gain) instead of abandoning the symbol outright.
+        self.management.declare(
+            "partial_merge", bool(partial_merge),
+            validator=lambda value: isinstance(value, bool),
+        )
+        #: Per-(RU, eAxC) eCPRI sequence tracking: classifies duplicates
+        #: and stragglers with proper 8-bit seq_id wraparound, so the wrap
+        #: after packet 255 is not mistaken for a retransmission.
+        self.seq_tracker = SequenceTracker(
+            name=f"{self.name}-seq", obs=self.obs
+        )
         self.merged_uplink_symbols = 0
         #: Symbols whose merge never completed before the deadline flush
         #: (an RU's packet was lost or late — Section 2.2's strict windows).
         self.missed_merge_deadlines = 0
+        #: Deadline merges completed with fewer than all RU packets.
+        self.degraded_merges = 0
+        self.duplicate_uplink_packets = 0
+        #: Stragglers for symbols already merged and forwarded: dropped so
+        #: the DU never sees the same symbol twice.
+        self.late_uplink_packets = 0
+        self._merged_keys: Set[Tuple] = set()
+        self._merged_order: deque = deque(maxlen=512)
 
     @property
     def ru_macs(self) -> List[MacAddress]:
@@ -100,9 +124,24 @@ class DasMiddlebox(Middlebox):
         if source not in ru_macs:
             ctx.forward(packet)  # not part of this DAS group
             return
+        status = self.seq_tracker.observe(
+            (source.to_int(), packet.ecpri.eaxc.to_int()),
+            packet.ecpri.seq_id,
+            context=key,
+        )
+        if status.verdict is SeqVerdict.DUPLICATE:
+            self.duplicate_uplink_packets += 1
+            ctx.drop(packet)
+            return
+        if key in self._merged_keys:
+            # Straggler for a symbol that already merged and shipped.
+            self.late_uplink_packets += 1
+            ctx.drop(packet)
+            return
         already = set(self.cache_store_tags(key))
         if source in already:
             # Duplicate from the same RU (retransmission); drop.
+            self.duplicate_uplink_packets += 1
             ctx.drop(packet)
             return
         occupancy = ctx.cache_put(key, packet, tag=source)
@@ -136,6 +175,7 @@ class DasMiddlebox(Middlebox):
         # remaining (len-1) cached packets are implicitly dropped.
         ctx.forward(out, dst=self.du_mac, src=self.mac)
         self.merged_uplink_symbols += 1
+        self._remember_merged(key)
 
     def _merge_sections(
         self, ctx: ActionContext, packets: List[FronthaulPacket]
@@ -155,6 +195,13 @@ class DasMiddlebox(Middlebox):
 
     def cache_store_tags(self, key) -> List:
         return self.cache.tags(key)
+
+    def _remember_merged(self, key) -> None:
+        if len(self._merged_order) == self._merged_order.maxlen:
+            evicted = self._merged_order.popleft()
+            self._merged_keys.discard(evicted)
+        self._merged_order.append(key)
+        self._merged_keys.add(key)
 
     # -- deadline handling -------------------------------------------------
 
@@ -189,3 +236,88 @@ class DasMiddlebox(Middlebox):
                 labels=("middlebox",),
             ).labels(self.name).set(len(self.cache.keys()))
         return len(stale)
+
+    def flush_deadline(
+        self, before_slot_key
+    ) -> Tuple[List[FronthaulPacket], int]:
+        """Deadline sweep with graceful degradation.
+
+        Like :meth:`flush_stale`, but when the ``partial_merge`` knob is
+        on, each stale symbol is merged from whatever RU subset arrived
+        in time and the degraded packet is returned for delivery to the
+        DU (reduced combining gain beats a silent hole in the slot).
+        Returns ``(degraded packets, abandoned symbol count)``.
+        """
+        stale = [
+            key
+            for key in self.cache.keys()
+            if key[0].slot_key() < before_slot_key
+        ]
+        partial = bool(self.management.get("partial_merge"))
+        emitted: List[FronthaulPacket] = []
+        abandoned = 0
+        for key in stale:
+            cached = self.cache.pop_all(key)
+            packets = [packet for _, packet in cached]
+            merged = None
+            if partial and packets:
+                merged = self._degraded_merge(packets)
+            if merged is None:
+                abandoned += 1
+                continue
+            emitted.append(merged)
+            self._remember_merged(key)
+        self.missed_merge_deadlines += abandoned
+        if self.obs.enabled:
+            registry = self.obs.registry
+            if abandoned:
+                registry.counter(
+                    "das_missed_merge_deadlines_total",
+                    "uplink merges abandoned at the slot deadline",
+                    labels=("middlebox",),
+                ).labels(self.name).inc(abandoned)
+            if emitted:
+                registry.counter(
+                    "das_degraded_merges_total",
+                    "deadline merges completed from a partial RU subset",
+                    labels=("middlebox",),
+                ).labels(self.name).inc(len(emitted))
+            registry.gauge(
+                "das_pending_merges",
+                "uplink symbols still waiting for RU packets",
+                labels=("middlebox",),
+            ).labels(self.name).set(len(self.cache.keys()))
+        return emitted, abandoned
+
+    def _degraded_merge(
+        self, packets: List[FronthaulPacket]
+    ) -> Optional[FronthaulPacket]:
+        """Merge a partial RU subset at the deadline; ``None`` on failure."""
+        ctx = ActionContext(self.cache, self.cost_model)
+        try:
+            sections = self._merge_sections(ctx, packets)
+        except ValueError:
+            # Corrupted or inconsistent cached packets: the symbol is lost.
+            return None
+        template = packets[-1]
+        merged = UPlaneMessage(
+            direction=Direction.UPLINK,
+            time=template.time,
+            sections=sections,
+            filter_index=template.message.filter_index,
+        )
+        out = FronthaulPacket(
+            eth=template.eth, ecpri=template.ecpri, message=merged
+        )
+        ctx.forward(out, dst=self.du_mac, src=self.mac)
+        self.stats.processing_ns_total += ctx.trace.total_ns()
+        self.stats.account_tx(ctx.emissions)
+        self.degraded_merges += 1
+        if self.obs.enabled:
+            self.obs.registry.histogram(
+                "das_merge_fanin",
+                "RU packets combined per uplink merge",
+                labels=("middlebox",),
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+            ).labels(self.name).observe(len(packets))
+        return out

@@ -14,8 +14,9 @@ propagation (how modelled latency accumulates along the chain).
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as obs_module
 from repro.core.middlebox import Middlebox
@@ -45,10 +46,99 @@ class SwitchPort:
     #: Frames this port injected that died in the fabric (unknown MAC or
     #: hairpin back to the sender).
     dropped_frames: int = 0
+    #: Frames whose delivery raised ``ValueError`` (a parser rejected the
+    #: bytes): counted here and swallowed instead of crashing the fabric.
+    malformed_frames: int = 0
+    #: Frames absorbed by a fault injector installed on this port's wire.
+    impaired_frames: int = 0
 
 
 class SwitchLoopError(Exception):
     """A frame traversed more hops than the switch allows (loop guard)."""
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states for one chain stage."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Numeric encoding of breaker states for the obs gauge.
+BREAKER_STATE_VALUE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.OPEN: 1,
+    BreakerState.HALF_OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Fail-open circuit breaker for one middlebox stage.
+
+    ``failure_threshold`` consecutive faults open the breaker; while
+    open, the next ``probation_packets`` admissions are refused (the
+    stage is bypassed), after which one probe packet is admitted in
+    half-open state.  A successful probe closes the breaker; a failed
+    probe re-opens it for another probation period.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        probation_packets: int = 16,
+        on_transition: Optional[
+            Callable[[BreakerState, BreakerState], None]
+        ] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probation_packets < 0:
+            raise ValueError("probation_packets must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.probation_packets = probation_packets
+        self.on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.recoveries = 0
+        self._open_remaining = 0
+
+    def _transition(self, to: BreakerState) -> None:
+        previous = self.state
+        self.state = to
+        if to is BreakerState.OPEN:
+            self.opens += 1
+            self._open_remaining = self.probation_packets
+        elif to is BreakerState.CLOSED and previous is BreakerState.HALF_OPEN:
+            self.recoveries += 1
+        if self.on_transition is not None:
+            self.on_transition(previous, to)
+
+    def admit(self) -> bool:
+        """Should the stage see the next packet?"""
+        if self.state is not BreakerState.OPEN:
+            return True
+        if self._open_remaining > 0:
+            self._open_remaining -= 1
+            return False
+        self._transition(BreakerState.HALF_OPEN)
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN)
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)
 
 
 class FronthaulSwitch:
@@ -70,6 +160,9 @@ class FronthaulSwitch:
         self._ports: Dict[str, SwitchPort] = {}
         self._mac_table: Dict[int, str] = {}
         self._interpositions: Dict[int, List[str]] = {}
+        #: Per-port fault injectors (repro.faults.FaultInjector) applied
+        #: to frames on their way into the port's device.
+        self._impairments: Dict[str, object] = {}
 
     def attach(
         self,
@@ -101,6 +194,17 @@ class FronthaulSwitch:
                     f"port {middlebox_port!r} already interposed on {mac}"
                 )
             chain.append(middlebox_port)
+
+    def impair(self, port: str, injector) -> None:
+        """Install a fault injector on the wire into ``port``.
+
+        ``injector`` is duck-typed (``apply_one`` + ``stats.absorbed``, as
+        :class:`repro.faults.FaultInjector` provides) so the core layer
+        stays independent of the faults package.
+        """
+        if port not in self._ports:
+            raise KeyError(f"unknown port {port!r}")
+        self._impairments[port] = injector
 
     def _count_drop(self, from_port: str) -> None:
         self._ports[from_port].dropped_frames += 1
@@ -145,29 +249,59 @@ class FronthaulSwitch:
             if target.name == from_port:
                 self._count_drop(from_port)
                 return
-        size = packet.wire_size
+        injector = self._impairments.get(target.name)
+        if injector is None:
+            deliveries = [packet]
+        else:
+            absorbed_before = injector.stats.absorbed
+            deliveries = injector.apply_one(packet)
+            absorbed = injector.stats.absorbed - absorbed_before
+            if absorbed:
+                target.impaired_frames += absorbed
+                if self.obs.enabled:
+                    self.obs.registry.counter(
+                        "switch_impaired_total",
+                        "frames absorbed by the fault injector on a port",
+                        labels=("switch", "port"),
+                    ).labels(self.name, target.name).inc(absorbed)
+            if not deliveries:
+                return
         source = self._ports[from_port]
-        source.tx_bytes += size
-        source.tx_packets += 1
-        target.rx_bytes += size
-        target.rx_packets += 1
-        if self.obs.enabled:
-            registry = self.obs.registry
-            bytes_total = registry.counter(
-                "switch_port_bytes_total",
-                "wire bytes per switch port and direction",
-                labels=("switch", "port", "direction"),
-            )
-            packets_total = registry.counter(
-                "switch_port_packets_total",
-                "frames per switch port and direction",
-                labels=("switch", "port", "direction"),
-            )
-            bytes_total.labels(self.name, from_port, "tx").inc(size)
-            bytes_total.labels(self.name, target.name, "rx").inc(size)
-            packets_total.labels(self.name, from_port, "tx").inc()
-            packets_total.labels(self.name, target.name, "rx").inc()
-        target.deliver(packet)
+        registry = self.obs.registry if self.obs.enabled else None
+        for frame in deliveries:
+            size = frame.wire_size
+            source.tx_bytes += size
+            source.tx_packets += 1
+            target.rx_bytes += size
+            target.rx_packets += 1
+            if registry is not None:
+                bytes_total = registry.counter(
+                    "switch_port_bytes_total",
+                    "wire bytes per switch port and direction",
+                    labels=("switch", "port", "direction"),
+                )
+                packets_total = registry.counter(
+                    "switch_port_packets_total",
+                    "frames per switch port and direction",
+                    labels=("switch", "port", "direction"),
+                )
+                bytes_total.labels(self.name, from_port, "tx").inc(size)
+                bytes_total.labels(self.name, target.name, "rx").inc(size)
+                packets_total.labels(self.name, from_port, "tx").inc()
+                packets_total.labels(self.name, target.name, "rx").inc()
+            try:
+                target.deliver(frame)
+            except ValueError:
+                # A parser rejected the bytes (corrupted/truncated frame):
+                # contain it here as a counted malformed drop instead of
+                # letting it unwind the whole slot.
+                target.malformed_frames += 1
+                if registry is not None:
+                    registry.counter(
+                        "switch_malformed_total",
+                        "frames rejected by the receiving device's parser",
+                        labels=("switch", "port"),
+                    ).labels(self.name, target.name).inc()
 
     def port(self, name: str) -> SwitchPort:
         return self._ports[name]
@@ -186,6 +320,12 @@ class MiddleboxChain:
     When observability is enabled, every burst records per-stage latency
     propagation: the modelled time each stage added and the cumulative
     latency a packet has accumulated when it leaves that stage.
+
+    With ``isolate_faults`` (the default), a stage that raises becomes a
+    counted drop instead of crashing the chain, and every stage gets a
+    :class:`CircuitBreaker`: after ``breaker_threshold`` consecutive
+    faults the stage is bypassed (packets pass through unprocessed) for
+    ``breaker_probation`` packets, then probed half-open.
     """
 
     def __init__(
@@ -193,14 +333,102 @@ class MiddleboxChain:
         middleboxes: Sequence[Middlebox],
         name: str = "chain",
         obs: Optional[Observability] = None,
+        isolate_faults: bool = True,
+        breaker_threshold: int = 5,
+        breaker_probation: int = 16,
     ):
         if not middleboxes:
             raise ValueError("a chain needs at least one middlebox")
         self.middleboxes = list(middleboxes)
         self.name = name
         self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
+        self.isolate_faults = isolate_faults
+        self.stage_faults = [0] * len(self.middleboxes)
+        self.stage_bypassed = [0] * len(self.middleboxes)
+        #: Bounded log of ``(stage, middlebox, repr(exc))`` for post-mortems.
+        self.fault_log: Deque[Tuple[int, str, str]] = deque(maxlen=64)
+        self.breaker_events: List[Tuple[int, str, str]] = []
+        self.breakers: List[CircuitBreaker] = []
         for stage, middlebox in enumerate(self.middleboxes):
             middlebox.chain_stage = stage
+            self.breakers.append(
+                CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    probation_packets=breaker_probation,
+                    on_transition=self._breaker_observer(stage, middlebox),
+                )
+            )
+
+    def _breaker_observer(
+        self, stage: int, middlebox: Middlebox
+    ) -> Callable[[BreakerState, BreakerState], None]:
+        stage_label = f"{stage}:{middlebox.name}"
+
+        def observe(previous: BreakerState, state: BreakerState) -> None:
+            self.breaker_events.append(
+                (stage, previous.value, state.value)
+            )
+            if self.obs.enabled:
+                registry = self.obs.registry
+                registry.counter(
+                    "chain_breaker_transitions_total",
+                    "circuit-breaker state transitions per stage",
+                    labels=("chain", "stage", "to"),
+                ).labels(self.name, stage_label, state.value).inc()
+                registry.gauge(
+                    "chain_breaker_state",
+                    "breaker state per stage (0 closed, 1 open, 2 half-open)",
+                    labels=("chain", "stage"),
+                ).labels(self.name, stage_label).set(
+                    BREAKER_STATE_VALUE[state]
+                )
+
+        return observe
+
+    def _run_stage(
+        self,
+        middlebox: Middlebox,
+        packets: List[FronthaulPacket],
+        direction: str,
+    ) -> List[FronthaulPacket]:
+        """Run one stage with per-packet fault isolation + breaker."""
+        stage = middlebox.chain_stage
+        breaker = self.breakers[stage]
+        out: List[FronthaulPacket] = []
+        for packet in packets:
+            if not breaker.admit():
+                # Breaker open: fail open — the packet skips the stage.
+                self.stage_bypassed[stage] += 1
+                if self.obs.enabled:
+                    self.obs.registry.counter(
+                        "chain_stage_bypassed_total",
+                        "packets that skipped a stage with an open breaker",
+                        labels=("chain", "stage"),
+                    ).labels(self.name, f"{stage}:{middlebox.name}").inc()
+                out.append(packet)
+                continue
+            try:
+                processed = middlebox.process(packet)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                breaker.record_failure()
+                self.stage_faults[stage] += 1
+                self.fault_log.append((stage, middlebox.name, repr(exc)))
+                if self.obs.enabled:
+                    self.obs.registry.counter(
+                        "chain_stage_faults_total",
+                        "exceptions raised by a stage, absorbed as drops",
+                        labels=("chain", "stage", "direction"),
+                    ).labels(
+                        self.name, f"{stage}:{middlebox.name}", direction
+                    ).inc()
+                continue
+            breaker.record_success()
+            out.extend(e.packet for e in processed.emissions)
+        return out
+
+    @property
+    def total_stage_faults(self) -> int:
+        return sum(self.stage_faults)
 
     def _run(
         self, packets: List[FronthaulPacket], boxes: Sequence[Middlebox],
@@ -209,7 +437,10 @@ class MiddleboxChain:
         current = list(packets)
         if not self.obs.enabled:
             for middlebox in boxes:
-                current = middlebox.process_burst(current)
+                if self.isolate_faults:
+                    current = self._run_stage(middlebox, current, direction)
+                else:
+                    current = middlebox.process_burst(current)
             return current
         registry = self.obs.registry
         stage_ns = registry.histogram(
@@ -231,7 +462,10 @@ class MiddleboxChain:
         cumulative = 0.0
         for middlebox in boxes:
             before_ns = middlebox.stats.processing_ns_total
-            current = middlebox.process_burst(current)
+            if self.isolate_faults:
+                current = self._run_stage(middlebox, current, direction)
+            else:
+                current = middlebox.process_burst(current)
             added = middlebox.stats.processing_ns_total - before_ns
             cumulative += added
             stage = f"{middlebox.chain_stage}:{middlebox.name}"
@@ -248,6 +482,17 @@ class MiddleboxChain:
         self, packets: List[FronthaulPacket]
     ) -> List[FronthaulPacket]:
         return self._run(packets, list(reversed(self.middleboxes)), "UL")
+
+    def process_uplink_from(
+        self, stage: int, packets: List[FronthaulPacket]
+    ) -> List[FronthaulPacket]:
+        """Run packets emitted *by* ``stage`` through the remaining uplink
+        tail of the chain (stages below it, in reverse order) — the path a
+        deadline-flushed merge still has to traverse towards the DUs."""
+        boxes = list(reversed(self.middleboxes[:stage]))
+        if not boxes:
+            return list(packets)
+        return self._run(packets, boxes, "UL")
 
     def total_processing_ns(self) -> float:
         return sum(m.stats.processing_ns_total for m in self.middleboxes)

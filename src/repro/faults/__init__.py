@@ -1,0 +1,42 @@
+"""Deterministic fault injection + datapath hardening primitives.
+
+The injection side lives here (``FaultInjector``, ``ImpairedLink``,
+``FaultyMiddlebox``); the hardening it exercises lives where the
+behavior belongs: per-stage isolation and the circuit breaker in
+:mod:`repro.core.chain`, partial merges in :mod:`repro.apps.das`,
+malformed-frame containment in :mod:`repro.sim.network_sim` and the
+switch.  ``SequenceTracker`` (seq_id gap/dup/reorder detection with
+8-bit wraparound) is shared by both sides.
+"""
+
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    FaultScope,
+    GilbertElliottConfig,
+    InjectorStats,
+    SilenceWindow,
+)
+from repro.faults.link import ImpairedLink
+from repro.faults.middlebox import (
+    FaultInjectorMiddlebox,
+    FaultyMiddlebox,
+    InjectedFault,
+)
+from repro.faults.sequence import SeqStatus, SeqVerdict, SequenceTracker
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultInjectorMiddlebox",
+    "FaultScope",
+    "FaultyMiddlebox",
+    "GilbertElliottConfig",
+    "ImpairedLink",
+    "InjectedFault",
+    "InjectorStats",
+    "SeqStatus",
+    "SeqVerdict",
+    "SequenceTracker",
+    "SilenceWindow",
+]

@@ -1,0 +1,52 @@
+"""An impaired point-to-point link: fault injection + link accounting.
+
+Composes a :class:`~repro.net.link.Link` (capacity/latency accounting)
+with a :class:`~repro.faults.injector.FaultInjector`: survivors are
+accounted on the link, absorbed packets increment ``LinkStats.drops``
+split by cause (``loss`` for vanished frames, ``malformed`` for frames
+the corruptor rendered unparseable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.faults.injector import FaultInjector
+from repro.fronthaul.packet import FronthaulPacket
+from repro.net.link import Link
+
+
+class ImpairedLink:
+    """A link whose frames pass through a fault injector."""
+
+    def __init__(self, injector: FaultInjector, link: Optional[Link] = None):
+        self.injector = injector
+        self.link = link or Link(name=f"{injector.name}-link")
+
+    def carry(
+        self, packets: Sequence[FronthaulPacket]
+    ) -> List[FronthaulPacket]:
+        """Impair and account one burst; returns the delivered packets."""
+        stats = self.injector.stats
+        lost_before = (
+            stats.lost_iid + stats.lost_burst + stats.silenced
+        )
+        malformed_before = stats.corrupt_dropped + stats.truncate_dropped
+        survivors = self.injector.apply(list(packets))
+        for packet in survivors:
+            self.link.transfer(packet.wire_size)
+        lost = (
+            stats.lost_iid + stats.lost_burst + stats.silenced - lost_before
+        )
+        malformed = (
+            stats.corrupt_dropped + stats.truncate_dropped - malformed_before
+        )
+        if lost:
+            self.link.drop(lost, reason="loss")
+        if malformed:
+            self.link.drop(malformed, reason="malformed")
+        return survivors
+
+    @property
+    def stats(self):
+        return self.link.stats

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs as obs_module
+from repro.obs import Observability
 
 
 @dataclass
@@ -25,6 +29,7 @@ class Link:
     capacity_gbps: float = 100.0
     propagation_ns: float = 500.0
     stats: LinkStats = field(default_factory=LinkStats)
+    obs: Optional[Observability] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity_gbps <= 0:
@@ -38,6 +43,19 @@ class Link:
         self.stats.bytes_carried += frame_bytes
         self.stats.packets_carried += 1
         return self.propagation_ns + self.serialization_ns(frame_bytes)
+
+    def drop(self, count: int = 1, reason: str = "impairment") -> None:
+        """Account frames that died on this link (impairment, malformed)."""
+        if count <= 0:
+            return
+        self.stats.drops += count
+        obs = self.obs if self.obs is not None else obs_module.DEFAULT_OBSERVABILITY
+        if obs.enabled:
+            obs.registry.counter(
+                "link_drops_total",
+                "frames dropped on a link by cause",
+                labels=("link", "reason"),
+            ).labels(self.name, reason).inc(count)
 
     def utilization(self, interval_ns: float) -> float:
         """Average utilization over an interval given accounted traffic."""

@@ -46,6 +46,10 @@ class EthernetSwitch:
     def inject(self, packet: FronthaulPacket, from_port: str) -> None:
         self.fabric.inject(packet, from_port)
 
+    def impair(self, port: str, injector) -> None:
+        """Install a fault injector on the wire into ``port``."""
+        self.fabric.impair(port, injector)
+
     def port_utilization(self, port: str, interval_ns: float) -> float:
         """Egress utilization of one port over an interval."""
         if interval_ns <= 0:

@@ -17,10 +17,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
+    from repro.faults.link import ImpairedLink
     from repro.obs.deadline import DeadlineAccountant
 
 import numpy as np
 
+from repro.core.chain import MiddleboxChain
 from repro.core.middlebox import Middlebox
 from repro.fronthaul.compression import SAMPLES_PER_PRB
 from repro.fronthaul.packet import FronthaulPacket
@@ -109,6 +111,14 @@ class SlotReport:
     dl_packets: int = 0
     ul_packets: int = 0
     undeliverable: int = 0
+    #: Frames an endpoint's parser rejected (contained, not propagated).
+    malformed: int = 0
+    #: Frames the impaired wire absorbed this slot (loss/corruption).
+    wire_dropped: int = 0
+    #: Partial (degraded) merges delivered at the slot deadline.
+    degraded_merges: int = 0
+    #: Symbols abandoned at the slot deadline (nothing mergeable arrived).
+    abandoned_merges: int = 0
 
 
 UplinkSignalFn = Callable[[RadioUnit, Position, SymbolTime, int], Optional[np.ndarray]]
@@ -128,6 +138,12 @@ class FronthaulNetwork:
         middleboxes: Sequence[Middlebox] = (),
         environment: Optional[RadioEnvironment] = None,
         deadline_accountant: Optional["DeadlineAccountant"] = None,
+        wire: Optional["ImpairedLink"] = None,
+        deadline_flush: bool = False,
+        isolate_faults: bool = True,
+        breaker_threshold: int = 5,
+        breaker_probation: int = 16,
+        obs=None,
     ):
         self.middleboxes = list(middleboxes)
         self.environment = environment or RadioEnvironment()
@@ -137,6 +153,27 @@ class FronthaulNetwork:
         #: Optional per-slot latency budget checker (repro.obs.deadline):
         #: fed every slot's per-stage modelled processing time.
         self.deadline_accountant = deadline_accountant
+        #: Optional impaired access wire (repro.faults.ImpairedLink): all
+        #: traffic entering the middlebox chain passes through it, in
+        #: both directions.
+        self.wire = wire
+        #: When set, every slot ends with a deadline sweep: middleboxes
+        #: exposing ``flush_deadline`` (the DAS) merge-or-abandon symbols
+        #: still waiting once their slot has passed.
+        self.deadline_flush = deadline_flush
+        #: The middleboxes run inside a fault-isolating chain: a raising
+        #: stage is a counted drop guarded by a circuit breaker, never a
+        #: crashed slot.
+        self.chain: Optional[MiddleboxChain] = None
+        if self.middleboxes:
+            self.chain = MiddleboxChain(
+                self.middleboxes,
+                name="network",
+                obs=obs,
+                isolate_faults=isolate_faults,
+                breaker_threshold=breaker_threshold,
+                breaker_probation=breaker_probation,
+            )
 
     def add_du(self, du: DistributedUnit) -> None:
         self._dus[du.mac.to_int()] = du
@@ -160,11 +197,24 @@ class FronthaulNetwork:
     def _through_chain(
         self, packets: List[FronthaulPacket], uplink: bool
     ) -> List[FronthaulPacket]:
-        current = packets
-        boxes = reversed(self.middleboxes) if uplink else iter(self.middleboxes)
-        for middlebox in boxes:
-            current = middlebox.process_burst(current)
-        return current
+        if self.chain is None:
+            return packets
+        if uplink:
+            return self.chain.process_uplink(packets)
+        return self.chain.process_downlink(packets)
+
+    def _carry(
+        self, packets: List[FronthaulPacket], report: SlotReport
+    ) -> List[FronthaulPacket]:
+        """Pass a burst over the impaired access wire, if one is set."""
+        if self.wire is None:
+            return packets
+        absorbed_before = self.wire.injector.stats.absorbed
+        survivors = self.wire.carry(packets)
+        report.wire_dropped += (
+            self.wire.injector.stats.absorbed - absorbed_before
+        )
+        return survivors
 
     # -- slot loop ----------------------------------------------------------------
 
@@ -189,12 +239,18 @@ class FronthaulNetwork:
         # RU-sharing middlebox's Algorithm 2 relies on.  Stable sort keeps
         # per-DU sequence numbers in order.
         downlink.sort(key=lambda packet: packet.is_uplane)
+        downlink = self._carry(downlink, report)
         for packet in self._through_chain(downlink, uplink=False):
             entry = self._rus.get(packet.eth.dst.to_int())
             if entry is None:
                 report.undeliverable += 1
                 continue
-            entry[0].receive(packet)
+            try:
+                entry[0].receive(packet)
+            except ValueError:
+                # Damaged frame rejected at the RU: contained drop.
+                report.malformed += 1
+                continue
             report.dl_packets += 1
 
         uplink: List[FronthaulPacket] = []
@@ -206,13 +262,12 @@ class FronthaulNetwork:
                     air = uplink_signal_fn(ru, position, time, port)
                 uplink.extend(ru.build_uplink(time, port, air_iq=air))
             ru._ul_requests.clear()
+        uplink = self._carry(uplink, report)
         for packet in self._through_chain(uplink, uplink=True):
-            du = self._dus.get(packet.eth.dst.to_int())
-            if du is None:
-                report.undeliverable += 1
-                continue
-            du.receive(packet)
-            report.ul_packets += 1
+            self._deliver_uplink(packet, report)
+
+        if self.deadline_flush and self.chain is not None:
+            self._flush_deadlines(absolute_slot, report)
 
         if self.deadline_accountant is not None:
             from repro.obs.deadline import account_middleboxes
@@ -223,6 +278,44 @@ class FronthaulNetwork:
             )
         self.reports.append(report)
         return report
+
+    def _deliver_uplink(
+        self, packet: FronthaulPacket, report: SlotReport
+    ) -> None:
+        du = self._dus.get(packet.eth.dst.to_int())
+        if du is None:
+            report.undeliverable += 1
+            return
+        try:
+            du.receive(packet)
+        except ValueError:
+            # Damaged frame rejected at the DU: contained drop.
+            report.malformed += 1
+            return
+        report.ul_packets += 1
+
+    def _flush_deadlines(
+        self, absolute_slot: int, report: SlotReport
+    ) -> None:
+        """End-of-slot deadline sweep: partial-merge or abandon symbols
+        still cached once their slot boundary has passed."""
+        numerology = next(iter(self._dus.values())).cell.numerology
+        boundary = SymbolTime.from_absolute_slot(
+            absolute_slot + 1, numerology
+        ).slot_key()
+        for stage, middlebox in enumerate(self.middleboxes):
+            flush = getattr(middlebox, "flush_deadline", None)
+            if flush is None:
+                continue
+            flushed, abandoned = flush(boundary)
+            report.abandoned_merges += abandoned
+            if not flushed:
+                continue
+            report.degraded_merges += len(flushed)
+            # A degraded merge leaves the DAS mid-chain: it still has to
+            # traverse the uplink tail of the chain towards the DUs.
+            for packet in self.chain.process_uplink_from(stage, flushed):
+                self._deliver_uplink(packet, report)
 
     def run(
         self,

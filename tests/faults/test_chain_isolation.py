@@ -1,0 +1,168 @@
+"""Chain fault isolation: raising stages become drops, breakers trip."""
+
+import pytest
+
+from repro.core.chain import BreakerState, CircuitBreaker, MiddleboxChain
+from repro.core.middlebox import Middlebox
+from repro.faults import FaultyMiddlebox, InjectedFault
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import Numerology, SymbolTime
+from repro.obs import Observability
+
+SRC = MacAddress.from_int(0x71)
+DST = MacAddress.from_int(0x72)
+
+
+def packet(slot=0):
+    time = SymbolTime.from_absolute_slot(slot, Numerology(mu=1))
+    return make_packet(
+        SRC, DST,
+        CPlaneMessage(direction=Direction.DOWNLINK, time=time,
+                      sections=[CPlaneSection(0, 0, 106)]),
+    )
+
+
+class Counter(Middlebox):
+    app_name = "counter"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.seen = 0
+
+    def _count(self, ctx, pkt):
+        self.seen += 1
+        ctx.forward(pkt)
+
+    on_cplane = _count
+    on_uplane = _count
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, probation_packets=2)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probation_then_half_open_then_recovery(self):
+        breaker = CircuitBreaker(failure_threshold=1, probation_packets=3)
+        breaker.record_failure()
+        assert [breaker.admit() for _ in range(3)] == [False] * 3
+        assert breaker.admit() is True  # the half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, probation_packets=1)
+        breaker.record_failure()
+        breaker.admit()
+        breaker.admit()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        assert breaker.recoveries == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probation_packets=-1)
+
+
+class TestStageIsolation:
+    def test_raising_stage_is_a_counted_drop_not_a_crash(self):
+        faulty = FaultyMiddlebox(fail_every=2)
+        tail = Counter()
+        chain = MiddleboxChain([faulty, tail], breaker_threshold=100)
+        out = chain.process_downlink([packet(slot) for slot in range(6)])
+        # Every second packet died at the faulty stage; the rest flowed on.
+        assert len(out) == 3
+        assert tail.seen == 3
+        assert chain.stage_faults == [3, 0]
+        assert chain.total_stage_faults == 3
+        assert len(chain.fault_log) == 3
+        stage, name, exc = chain.fault_log[0]
+        assert stage == 0 and name == "faulty" and "InjectedFault" in exc
+
+    def test_isolation_off_propagates_like_the_seed(self):
+        chain = MiddleboxChain(
+            [FaultyMiddlebox(fail_every=1)], isolate_faults=False
+        )
+        with pytest.raises(InjectedFault):
+            chain.process_downlink([packet()])
+
+    def test_empty_chain_still_rejected(self):
+        with pytest.raises(ValueError):
+            MiddleboxChain([])
+
+
+class TestChainBreaker:
+    def test_breaker_opens_bypasses_and_recovers_exactly(self):
+        faulty = FaultyMiddlebox(fail_range=(3, 6))  # packets 3,4,5 raise
+        tail = Counter()
+        chain = MiddleboxChain(
+            [faulty, tail], breaker_threshold=3, breaker_probation=4
+        )
+        packets = [packet(slot % 8) for slot in range(15)]
+        out = chain.process_downlink(packets)
+        breaker = chain.breakers[0]
+        # 2 pass, 3 fault (opens), 4 bypass, probe passes (recovery),
+        # remaining 5 pass: 15 in, 3 dropped.
+        assert chain.stage_faults == [3, 0]
+        assert chain.stage_bypassed == [4, 0]
+        assert breaker.opens == 1
+        assert breaker.recoveries == 1
+        assert breaker.state is BreakerState.CLOSED
+        assert len(out) == 12
+        # Bypassed packets really skipped the stage...
+        assert faulty.seen == 15 - 4
+        # ...but still reached the next one.
+        assert tail.seen == 12
+        assert chain.breaker_events == [
+            (0, "closed", "open"),
+            (0, "open", "half_open"),
+            (0, "half_open", "closed"),
+        ]
+
+    def test_obs_counters_match_python_truth(self):
+        obs = Observability(enabled=True, sample_every=1 << 30)
+        faulty = FaultyMiddlebox(fail_range=(1, 3), obs=obs)
+        chain = MiddleboxChain(
+            [faulty], name="c", obs=obs,
+            breaker_threshold=2, breaker_probation=2,
+        )
+        chain.process_downlink([packet(slot % 8) for slot in range(8)])
+        snapshot = obs.registry.snapshot()
+        faults = snapshot["chain_stage_faults_total"]["series"]
+        assert sum(faults.values()) == chain.total_stage_faults == 2
+        bypassed = snapshot["chain_stage_bypassed_total"]["series"]
+        assert sum(bypassed.values()) == sum(chain.stage_bypassed) == 2
+        transitions = snapshot["chain_breaker_transitions_total"]["series"]
+        assert transitions["c,0:faulty,open"] == 1
+        assert transitions["c,0:faulty,closed"] == 1
+        state = snapshot["chain_breaker_state"]["series"]
+        assert state["c,0:faulty"] == 0  # closed again
+
+    def test_uplink_direction_also_isolated(self):
+        faulty = FaultyMiddlebox(fail_every=1)
+        chain = MiddleboxChain(
+            [Counter(), faulty], breaker_threshold=100
+        )
+        out = chain.process_uplink([packet()])
+        assert out == []
+        assert chain.stage_faults == [0, 1]

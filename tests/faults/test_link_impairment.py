@@ -1,0 +1,153 @@
+"""Link drop accounting, switch port impairment, malformed containment."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import FronthaulSwitch, PortRole
+from repro.faults import FaultConfig, FaultInjector, ImpairedLink
+from repro.fronthaul.cplane import Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet, parse_packet
+from repro.fronthaul.timing import Numerology, SymbolTime
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+from repro.net.link import Link
+from repro.obs import Observability
+
+from tests.conftest import random_prb_samples
+
+SRC = MacAddress.from_int(0x81)
+DST = MacAddress.from_int(0x82)
+
+
+def uplane(rng, slot=0, n_prbs=4):
+    time = SymbolTime.from_absolute_slot(slot, Numerology(mu=1), symbol=3)
+    section = UPlaneSection.from_samples(0, 0, random_prb_samples(rng, n_prbs))
+    return make_packet(
+        SRC, DST,
+        UPlaneMessage(direction=Direction.UPLINK, time=time,
+                      sections=[section]),
+    )
+
+
+def burst(rng, n=60):
+    return [uplane(rng, slot=i % 8) for i in range(n)]
+
+
+class TestLinkDrops:
+    def test_drop_counts_and_exports(self):
+        obs = Observability(enabled=True)
+        link = Link(name="l0", obs=obs)
+        link.drop(3, reason="loss")
+        link.drop(1, reason="malformed")
+        link.drop(0, reason="loss")  # no-op
+        assert link.stats.drops == 4
+        series = obs.registry.snapshot()["link_drops_total"]["series"]
+        assert series["l0,loss"] == 3
+        assert series["l0,malformed"] == 1
+
+    def test_drop_disabled_obs_only_counts_locally(self):
+        link = Link(name="l1")
+        link.drop(2)
+        assert link.stats.drops == 2
+
+
+class TestImpairedLink:
+    def test_losses_land_in_link_stats_by_cause(self, rng):
+        obs = Observability(enabled=True)
+        injector = FaultInjector(
+            FaultConfig(loss_rate=0.3, corrupt_rate=0.3, corrupt_bits=16),
+            seed=21,
+        )
+        wire = ImpairedLink(injector, link=Link(name="wire", obs=obs))
+        packets = burst(rng, 120)
+        survivors = wire.carry(packets)
+        stats = injector.stats
+        assert wire.stats.drops == stats.absorbed > 0
+        assert wire.stats.packets_carried == len(survivors)
+        series = obs.registry.snapshot()["link_drops_total"]["series"]
+        assert series.get("wire,loss", 0) == stats.lost_iid
+        assert series.get("wire,malformed", 0) == stats.corrupt_dropped
+
+    def test_clean_wire_carries_everything(self, rng):
+        wire = ImpairedLink(FaultInjector(seed=0))
+        packets = burst(rng, 10)
+        assert wire.carry(packets) == packets
+        assert wire.stats.drops == 0
+        assert wire.stats.packets_carried == 10
+
+
+class TestSwitchImpairment:
+    def make_switch(self, obs=None):
+        switch = FronthaulSwitch(obs=obs)
+        received = []
+        switch.attach("src", PortRole.DU, [SRC], lambda p: None)
+        switch.attach(
+            "dst", PortRole.RU, [DST],
+            lambda p: received.append(parse_packet(p.pack())),
+        )
+        return switch, received
+
+    def test_impair_unknown_port_rejected(self):
+        switch, _ = self.make_switch()
+        with pytest.raises(KeyError):
+            switch.impair("nope", FaultInjector(seed=0))
+
+    def test_injector_on_port_absorbs_and_counts(self, rng):
+        obs = Observability(enabled=True)
+        switch, received = self.make_switch(obs=obs)
+        injector = FaultInjector(FaultConfig(loss_rate=0.5), seed=13)
+        switch.impair("dst", injector)
+        n = 80
+        for packet in burst(rng, n):
+            switch.inject(packet, from_port="src")
+        port = switch.port("dst")
+        assert port.impaired_frames == injector.stats.lost_iid > 0
+        assert len(received) == n - port.impaired_frames
+        assert port.rx_packets == len(received)  # absorbed ≠ received
+        series = obs.registry.snapshot()["switch_impaired_total"]["series"]
+        assert series["fabric,dst"] == port.impaired_frames
+
+    def test_malformed_delivery_contained_not_propagated(self, rng):
+        obs = Observability(enabled=True)
+        switch = FronthaulSwitch(obs=obs)
+        received = []
+
+        def strict_parser(packet):
+            # A device parser that rejects every third frame as damaged.
+            if (len(received) + 1) % 3 == 0:
+                received.append(None)
+                raise ValueError("bad frame")
+            received.append(packet)
+
+        switch.attach("src", PortRole.DU, [SRC], lambda p: None)
+        switch.attach("dst", PortRole.RU, [DST], strict_parser)
+        n = 30
+        for packet in burst(rng, n):
+            switch.inject(packet, from_port="src")  # must never raise
+        port = switch.port("dst")
+        assert port.malformed_frames == n // 3
+        series = obs.registry.snapshot()["switch_malformed_total"]["series"]
+        assert series["fabric,dst"] == port.malformed_frames
+        # Containment accounting: every frame was either rejected at the
+        # parser or delivered; none unwound the fabric.
+        delivered = [p for p in received if p is not None]
+        assert port.malformed_frames + len(delivered) == n
+
+    def test_corrupting_injector_end_to_end_never_raises(self):
+        # Aggressive damage on a port's wire: absorbed frames counted,
+        # survivors delivered, and injection never propagates an error.
+        obs = Observability(enabled=True)
+        switch, received = self.make_switch(obs=obs)
+        injector = FaultInjector(
+            FaultConfig(corrupt_rate=1.0, corrupt_bits=12),
+            seed=29,
+        )
+        switch.impair("dst", injector)
+        for packet in burst(np.random.default_rng(7), 120):
+            switch.inject(packet, from_port="src")
+        port = switch.port("dst")
+        assert port.impaired_frames == injector.stats.absorbed > 0
+        assert (
+            port.impaired_frames + port.malformed_frames + len(received)
+            == injector.stats.offered
+        )
