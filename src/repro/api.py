@@ -1,0 +1,69 @@
+"""The stable public facade of the RANBooster reproduction.
+
+One import surface for the pieces a deployment script needs: the
+declarative Scenario API, the four paper applications, and fault
+injection.  Everything here is re-exported from its home module — import
+from :mod:`repro.api` and stay insulated from internal layout changes::
+
+    from repro.api import Scenario, run
+
+    result = run({
+        "name": "two-cell",
+        "slots": 40,
+        "cells": [...],
+    }, workers=4)
+    print(result.digest, result.cell_slots_per_second)
+
+The four reference applications of the paper (Section 5) are also
+constructible by registered stage name from a spec — ``"das"``,
+``"dmimo"``, ``"ru_sharing"``, ``"prb_monitor"`` — without touching the
+classes re-exported here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.das import DasMiddlebox
+from repro.apps.dmimo import DmimoMiddlebox
+from repro.apps.prb_monitor import PrbMonitorMiddlebox
+from repro.apps.ru_sharing import RuSharingMiddlebox
+from repro.faults import FaultInjector
+from repro.faults.registry import fault_kinds, injector_from_spec
+from repro.scale import (
+    CellSpec,
+    FlowSpec,
+    ObsSpec,
+    RuSpec,
+    Scenario,
+    ScenarioResult,
+    ScenarioSpec,
+    StageSpec,
+    UeSpec,
+    register_stage,
+    run,
+    stage_names,
+)
+
+__all__ = [
+    # Scenario API
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "CellSpec",
+    "RuSpec",
+    "UeSpec",
+    "FlowSpec",
+    "StageSpec",
+    "ObsSpec",
+    "run",
+    "register_stage",
+    "stage_names",
+    # The paper's four reference applications
+    "DasMiddlebox",
+    "DmimoMiddlebox",
+    "RuSharingMiddlebox",
+    "PrbMonitorMiddlebox",
+    # Fault injection
+    "FaultInjector",
+    "fault_kinds",
+    "injector_from_spec",
+]

@@ -45,9 +45,14 @@ class DasMiddlebox(Middlebox):
         ru_macs: Sequence[MacAddress],
         mac: Optional[MacAddress] = None,
         partial_merge: bool = False,
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         if not ru_macs:
             raise ValueError("a DAS group needs at least one RU")
         self.du_mac = du_mac

@@ -123,9 +123,14 @@ class DmimoMiddlebox(Middlebox):
         slots_per_frame: int = 20,
         slots_per_subframe: int = 2,
         mac: Optional[MacAddress] = None,
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         self.du_mac = du_mac
         self.port_map = port_map
         self.ssb = ssb

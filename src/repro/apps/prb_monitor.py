@@ -59,9 +59,14 @@ class PrbMonitorMiddlebox(Middlebox):
         thr_ul: int = 2,
         numerology: Numerology = Numerology(mu=1),
         monitor_port: int = 0,
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         self.carrier_num_prb = carrier_num_prb
         self.numerology = numerology
         self.monitor_port = monitor_port

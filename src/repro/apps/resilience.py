@@ -57,9 +57,14 @@ class ResilienceMiddlebox(Middlebox):
         silence_threshold_ns: float = 2_000_000.0,  # 4 slots at 30 kHz SCS
         numerology=None,
         mac: Optional[MacAddress] = None,
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         from repro.fronthaul.timing import Numerology
 
         self.primary_du = primary_du

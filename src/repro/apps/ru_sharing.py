@@ -71,11 +71,24 @@ class RuSharingMiddlebox(Middlebox):
         ru_mac: MacAddress,
         ru_grid: PrbGrid,
         dus: Sequence[SharedDuConfig],
-        compression: CompressionConfig = CompressionConfig(),
+        compression: Optional[CompressionConfig] = None,
         mac: Optional[MacAddress] = None,
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
+        if compression is None:
+            # The mux recompresses with the vendor stack's fronthaul
+            # convention when one is known.
+            compression = (
+                stack_profile.compression
+                if stack_profile is not None
+                else CompressionConfig()
+            )
         if not dus:
             raise ValueError("RU sharing needs at least one DU")
         seen = set()

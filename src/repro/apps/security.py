@@ -59,9 +59,14 @@ class FronthaulGuardMiddlebox(Middlebox):
         allowed_sources: Iterable[MacAddress],
         max_slot_skew: int = 8,
         numerology: Numerology = Numerology(mu=1),
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         self.allowed: Set[int] = {mac.to_int() for mac in allowed_sources}
         if not self.allowed:
             raise ValueError("the guard needs at least one allowed source")

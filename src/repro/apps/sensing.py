@@ -52,9 +52,14 @@ class SpectrumSensorMiddlebox(Middlebox):
         carrier_num_prb: int,
         noise_exponent_threshold: int = 2,
         numerology: Numerology = Numerology(mu=1),
+        name: str = "",
+        obs=None,
+        stack_profile=None,
         **kwargs,
     ):
-        super().__init__(**kwargs)
+        super().__init__(
+            name=name, obs=obs, stack_profile=stack_profile, **kwargs
+        )
         self.carrier_num_prb = carrier_num_prb
         self.numerology = numerology
         self.management.declare(

@@ -14,9 +14,10 @@ propagation (how modelled latency accumulates along the chain).
 from __future__ import annotations
 
 import enum
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs as obs_module
 from repro.core.middlebox import Middlebox
@@ -195,16 +196,27 @@ class FronthaulSwitch:
                 )
             chain.append(middlebox_port)
 
-    def impair(self, port: str, injector) -> None:
-        """Install a fault injector on the wire into ``port``.
+    def impair(self, port: str, injector):
+        """Install a fault injector on the wire into ``port``; returns it.
 
-        ``injector`` is duck-typed (``apply_one`` + ``stats.absorbed``, as
+        ``injector`` may be a live injector object — duck-typed
+        (``apply_one`` + ``stats.absorbed``, as
         :class:`repro.faults.FaultInjector` provides) so the core layer
-        stays independent of the faults package.
+        stays independent of the faults package — or a *declarative
+        spec*: the name of a registered fault kind (``"iid_loss"``) or a
+        dict (``{"kind": "iid_loss", "rate": 0.01, "seed": 7}``) resolved
+        through the fault registry of :mod:`repro.faults.registry`.
         """
         if port not in self._ports:
             raise KeyError(f"unknown port {port!r}")
+        if isinstance(injector, (str, dict)):
+            # Lazy import: only spec-based impairment pulls in the faults
+            # package; live-object installs keep the core standalone.
+            from repro.faults.registry import injector_from_spec
+
+            injector = injector_from_spec(injector)
         self._impairments[port] = injector
+        return injector
 
     def _count_drop(self, from_port: str) -> None:
         self._ports[from_port].dropped_frames += 1
@@ -345,6 +357,9 @@ class MiddleboxChain:
         self.isolate_faults = isolate_faults
         self.stage_faults = [0] * len(self.middleboxes)
         self.stage_bypassed = [0] * len(self.middleboxes)
+        #: Packets that skipped a hold-capable stage because the caller
+        #: passed ``deadline_flush=False`` (see :meth:`process_uplink`).
+        self.hold_bypassed = 0
         #: Bounded log of ``(stage, middlebox, repr(exc))`` for post-mortems.
         self.fault_log: Deque[Tuple[int, str, str]] = deque(maxlen=64)
         self.breaker_events: List[Tuple[int, str, str]] = []
@@ -473,26 +488,77 @@ class MiddleboxChain:
             cumulative_ns.labels(self.name, stage, direction).observe(cumulative)
         return current
 
+    def _resolve_stage(self, source: Union[int, str, Middlebox]) -> int:
+        """Stage index of ``source`` (an index, a middlebox, or its name)."""
+        if isinstance(source, Middlebox):
+            return source.chain_stage
+        if isinstance(source, str):
+            for middlebox in self.middleboxes:
+                if middlebox.name == source:
+                    return middlebox.chain_stage
+            raise KeyError(f"no chain stage named {source!r}")
+        stage = int(source)
+        if not 0 <= stage <= len(self.middleboxes):
+            raise IndexError(
+                f"stage {stage} out of range for a "
+                f"{len(self.middleboxes)}-stage chain"
+            )
+        return stage
+
     def process_downlink(
         self, packets: List[FronthaulPacket]
     ) -> List[FronthaulPacket]:
         return self._run(packets, self.middleboxes, "DL")
 
     def process_uplink(
-        self, packets: List[FronthaulPacket]
+        self,
+        packets: List[FronthaulPacket],
+        *,
+        source: Optional[Union[int, str, Middlebox]] = None,
+        deadline_flush: bool = True,
     ) -> List[FronthaulPacket]:
-        return self._run(packets, list(reversed(self.middleboxes)), "UL")
+        """Run packets towards the DUs (reverse stage order).
+
+        ``source`` names the stage that *emitted* the packets — a stage
+        index, a middlebox instance, or a middlebox name.  Only stages
+        below it (the uplink tail) run; ``None`` runs the full chain, the
+        path of packets entering from the RU side.
+
+        ``deadline_flush`` controls whether hold-capable stages — those
+        exposing ``flush_deadline``, like the DAS merge — may capture
+        packets from this burst.  The default ``True`` is normal
+        traversal.  Deadline sweeps pass ``False`` so a merge that was
+        already force-flushed at the slot boundary is never re-captured
+        (and re-delayed) by another merge stage further down the chain;
+        such stages are bypassed and counted in ``hold_bypassed``.
+        """
+        if source is None:
+            boxes = list(reversed(self.middleboxes))
+        else:
+            boxes = list(reversed(self.middleboxes[: self._resolve_stage(source)]))
+        if not deadline_flush:
+            holding = [b for b in boxes if hasattr(b, "flush_deadline")]
+            if holding:
+                self.hold_bypassed += len(holding) * len(packets)
+                boxes = [b for b in boxes if not hasattr(b, "flush_deadline")]
+        if not boxes:
+            return list(packets)
+        return self._run(packets, boxes, "UL")
 
     def process_uplink_from(
         self, stage: int, packets: List[FronthaulPacket]
     ) -> List[FronthaulPacket]:
-        """Run packets emitted *by* ``stage`` through the remaining uplink
-        tail of the chain (stages below it, in reverse order) — the path a
-        deadline-flushed merge still has to traverse towards the DUs."""
-        boxes = list(reversed(self.middleboxes[:stage]))
-        if not boxes:
-            return list(packets)
-        return self._run(packets, boxes, "UL")
+        """Deprecated alias for ``process_uplink(packets, source=stage)``.
+
+        The unified entrypoint subsumes this one; the alias keeps the old
+        calling convention alive for external callers one release."""
+        warnings.warn(
+            "MiddleboxChain.process_uplink_from is deprecated; use "
+            "process_uplink(packets, source=stage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.process_uplink(packets, source=stage)
 
     def total_processing_ns(self) -> float:
         return sum(m.stats.processing_ns_total for m in self.middleboxes)

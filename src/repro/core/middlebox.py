@@ -76,6 +76,14 @@ class Middlebox:
     ``obs`` is the observability handle packets are accounted against;
     it defaults to the module-level (disabled) handle, in which case the
     per-packet cost is a single attribute check.
+
+    ``stack_profile`` is the vendor stack profile
+    (:class:`~repro.ran.stacks.VendorProfile`) of the deployment the
+    middlebox serves, if known.  Middleboxes take no vendor-specific code
+    paths (Section 6.2), but apps may derive configuration defaults from
+    it (e.g. the fronthaul compression convention), and scenario-built
+    deployments record it for reporting.  Every ``repro.apps`` middlebox
+    accepts the same ``(name, obs, stack_profile)`` base keywords.
     """
 
     #: Human-readable application name (overridden by subclasses).
@@ -87,11 +95,13 @@ class Middlebox:
         telemetry: Optional[TelemetryBus] = None,
         cost_model: ActionCostModel = DEFAULT_COST_MODEL,
         obs: Optional[Observability] = None,
+        stack_profile=None,
     ):
         self.name = name or self.app_name
         self.telemetry = telemetry or TelemetryBus()
         self.cost_model = cost_model
         self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
+        self.stack_profile = stack_profile
         self.cache = PacketCache()
         self.management = ManagementInterface(owner=self.name)
         self.stats = MiddleboxStats()

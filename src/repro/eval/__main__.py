@@ -23,7 +23,13 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.fig14 import run_fig14
     from repro.eval.fig15 import run_fig15a, run_fig15a_measured, run_fig15b
     from repro.eval.fig16 import run_fig16
+    from repro.eval.scale import run_scale, write_bench
     from repro.eval.table2 import run_table2
+
+    def _scale() -> str:
+        result = run_scale()
+        write_bench(result)
+        return result.format()
 
     return {
         "fig10a": lambda: run_fig10a().format(),
@@ -41,6 +47,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "appendix_a1": lambda: run_sharing_math().format(),
         "appendix_a2": lambda: run_cost_analysis().format(),
         "chaos": lambda: run_chaos().format(),
+        "scale": _scale,
     }
 
 

@@ -1,0 +1,264 @@
+"""Scale-out benchmark: sharded throughput vs single-process, same bytes.
+
+Runs the canonical 8-cell scenario (six independent cells plus one
+coupled group: a cross-DU shared RU, exercising the atomic-placement
+rule) through the scale-out engine at 1, 2, 4 and 8 workers, asserting
+after every sharded run that the result digest is **byte-identical** to
+the single-process run — the sharding contract — and recording
+throughput (cell-slots simulated per wall second) into ``BENCH_4.json``.
+
+The ≥3x speedup floor at 8 workers only holds where 8 workers can
+actually run: the assertion is gated on ``os.cpu_count() >= 8`` and the
+recorded JSON carries the host's cpu count so a 1-core CI box records
+honest numbers without failing a physically impossible bar.
+
+Run via ``PYTHONPATH=src python -m repro.eval scale``; shrink with the
+``REPRO_SCALE_SLOTS`` environment variable for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.eval.report import format_table
+from repro.scale import Scenario, ScenarioSpec
+
+DEFAULT_SLOTS = 40
+SPEEDUP_FLOOR = 3.0
+FLOOR_WORKERS = 8
+WORKER_SWEEP = (1, 2, 4, 8)
+
+
+def bench_spec(slots: int = DEFAULT_SLOTS) -> ScenarioSpec:
+    """The 8-cell benchmark topology (also the golden-fixture scenario).
+
+    Cells 1..6 are independent singleton groups with the paper's
+    middleboxes spread across them; cells 7+8 form one coupled group
+    ("campus"): both DUs mux onto cell 7's wide shared RU, so the pair
+    must land on one shard.
+    """
+    chains = [
+        [{"stage": "das", "params": {"partial_merge": True}}],
+        [{"stage": "prb_monitor"}],
+        [{"stage": "dmimo"}],
+        [{"stage": "fronthaul_guard"}],
+        [{"stage": "spectrum_sensor"}],
+        [{"stage": "passthrough"}],
+    ]
+    cells: List[dict] = []
+    for index, chain in enumerate(chains):
+        name = f"cell{index + 1}"
+        n_rus = 2 if chain[0]["stage"] in ("das", "dmimo") else 1
+        cells.append(
+            {
+                "name": name,
+                "pci": index + 1,
+                "bandwidth_hz": 20_000_000,
+                "rus": [
+                    {
+                        "name": f"{name}-ru{r + 1}",
+                        "n_antennas": 2,
+                        "position": (10.0 * r, 5.0 * index, 0, 3.0),
+                    }
+                    for r in range(n_rus)
+                ],
+                "ues": [
+                    {
+                        "ue_id": f"{name}-ue1",
+                        "flows": [
+                            {"kind": "cbr", "rate_mbps": 40.0,
+                             "direction": "dl"},
+                            {"kind": "poisson", "rate_mbps": 10.0,
+                             "direction": "ul", "seed": index},
+                        ],
+                    }
+                ],
+                "chain": chain,
+            }
+        )
+    # The coupled pair: cell7 hosts a wide RU, cell8's DU muxes onto it.
+    cells.append(
+        {
+            "name": "cell7",
+            "pci": 7,
+            "bandwidth_hz": 20_000_000,
+            "center_frequency_hz": 3.45e9,
+            "group": "campus",
+            "rus": [
+                {
+                    "name": "cell7-shared-ru",
+                    "n_antennas": 2,
+                    "num_prb": 160,
+                    "center_frequency_hz": 3.46e9,
+                }
+            ],
+            "ues": [
+                {
+                    "ue_id": "cell7-ue1",
+                    "flows": [
+                        {"kind": "cbr", "rate_mbps": 40.0, "direction": "dl"}
+                    ],
+                }
+            ],
+            "chain": [
+                {
+                    "stage": "ru_sharing",
+                    "params": {
+                        "ru": "cell7-shared-ru",
+                        "cells": ["cell7", "cell8"],
+                    },
+                }
+            ],
+        }
+    )
+    cells.append(
+        {
+            "name": "cell8",
+            "pci": 8,
+            "bandwidth_hz": 20_000_000,
+            "center_frequency_hz": 3.47e9,
+            "group": "campus",
+            "rus": [{"name": "cell8-ru1", "n_antennas": 2}],
+            "ues": [
+                {
+                    "ue_id": "cell8-ue1",
+                    "flows": [
+                        {"kind": "cbr", "rate_mbps": 30.0, "direction": "dl"}
+                    ],
+                }
+            ],
+            "chain": [],
+        }
+    )
+    return ScenarioSpec.from_dict(
+        {
+            "name": "scale-bench-8cell",
+            "slots": slots,
+            "seed": 4,
+            "cells": cells,
+        }
+    )
+
+
+@dataclass
+class ScaleResult:
+    slots: int
+    cells: int
+    cpu_count: int
+    digest: str
+    #: workers -> cell-slots per wall second.
+    throughput: Dict[int, float] = field(default_factory=dict)
+    #: workers -> wall seconds.
+    wall: Dict[int, float] = field(default_factory=dict)
+    floor_enforced: bool = False
+
+    @property
+    def speedup_at_floor(self) -> float:
+        base = self.throughput.get(1, 0.0)
+        if not base:
+            return 0.0
+        return self.throughput.get(FLOOR_WORKERS, 0.0) / base
+
+    def rows(self) -> List[List[object]]:
+        base = self.throughput.get(1, 0.0)
+        return [
+            [
+                workers,
+                f"{self.wall[workers]:.3f}",
+                f"{self.throughput[workers]:.1f}",
+                f"{self.throughput[workers] / base:.2f}x" if base else "-",
+            ]
+            for workers in sorted(self.throughput)
+        ]
+
+    def format(self) -> str:
+        table = format_table(
+            f"Scale-out: {self.cells} cells x {self.slots} slots "
+            f"(digest {self.digest[:12]}..., {self.cpu_count} cpus)",
+            ["workers", "wall_s", "cell_slots/s", "speedup"],
+            self.rows(),
+        )
+        floor = (
+            f"floor: >= {SPEEDUP_FLOOR:.0f}x at {FLOOR_WORKERS} workers "
+            + ("ENFORCED" if self.floor_enforced
+               else f"not enforced (host has {self.cpu_count} cpus)")
+        )
+        return table + "\n" + floor
+
+    def to_bench(self) -> Dict[str, object]:
+        return {
+            "scale_out_8cell": {
+                "cells": self.cells,
+                "slots": self.slots,
+                "cpu_count": self.cpu_count,
+                "digest_sha256": self.digest,
+                "cell_slots_per_second": {
+                    str(workers): value
+                    for workers, value in sorted(self.throughput.items())
+                },
+                "wall_seconds": {
+                    str(workers): value
+                    for workers, value in sorted(self.wall.items())
+                },
+                "speedup_8_vs_1": self.speedup_at_floor,
+                "floor": SPEEDUP_FLOOR,
+                "floor_enforced": self.floor_enforced,
+            }
+        }
+
+
+def run_scale(slots: int = 0) -> ScaleResult:
+    """Sweep worker counts; assert byte-identical results throughout."""
+    slots = slots or int(os.environ.get("REPRO_SCALE_SLOTS", DEFAULT_SLOTS))
+    scenario = Scenario(bench_spec(slots))
+    cpu_count = os.cpu_count() or 1
+    result = ScaleResult(
+        slots=slots,
+        cells=len(scenario.spec.cells),
+        cpu_count=cpu_count,
+        digest="",
+    )
+    reference = None
+    for workers in WORKER_SWEEP:
+        outcome = scenario.run(workers=workers)
+        if reference is None:
+            reference = outcome
+            result.digest = outcome.digest
+        # The sharding contract: any worker count, the same bytes.
+        assert outcome.digest == reference.digest, (
+            f"{workers}-worker digest {outcome.digest} != "
+            f"single-process {reference.digest}"
+        )
+        assert outcome.timeline() == reference.timeline(), (
+            f"{workers}-worker merged timeline diverged"
+        )
+        result.throughput[workers] = outcome.cell_slots_per_second
+        result.wall[workers] = outcome.wall_seconds
+    # The >=3x floor needs 8 schedulable cores; enforce only where the
+    # hardware makes the bar meaningful, record honestly everywhere.
+    result.floor_enforced = cpu_count >= FLOOR_WORKERS
+    if result.floor_enforced:
+        assert result.speedup_at_floor >= SPEEDUP_FLOOR, (
+            f"8-worker speedup {result.speedup_at_floor:.2f}x below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )
+    return result
+
+
+def write_bench(result: ScaleResult, path: str = "BENCH_4.json") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_bench(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main() -> str:
+    result = run_scale()
+    write_bench(result)
+    return result.format()
+
+
+if __name__ == "__main__":
+    print(main())

@@ -23,9 +23,17 @@ from repro.faults.middlebox import (
     FaultyMiddlebox,
     InjectedFault,
 )
+from repro.faults.registry import (
+    FAULT_REGISTRY,
+    fault_config_from_spec,
+    fault_kinds,
+    injector_from_spec,
+    register_fault,
+)
 from repro.faults.sequence import SeqStatus, SeqVerdict, SequenceTracker
 
 __all__ = [
+    "FAULT_REGISTRY",
     "FaultConfig",
     "FaultInjector",
     "FaultInjectorMiddlebox",
@@ -39,4 +47,8 @@ __all__ = [
     "SeqVerdict",
     "SequenceTracker",
     "SilenceWindow",
+    "fault_config_from_spec",
+    "fault_kinds",
+    "injector_from_spec",
+    "register_fault",
 ]

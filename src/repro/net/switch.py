@@ -46,9 +46,16 @@ class EthernetSwitch:
     def inject(self, packet: FronthaulPacket, from_port: str) -> None:
         self.fabric.inject(packet, from_port)
 
-    def impair(self, port: str, injector) -> None:
-        """Install a fault injector on the wire into ``port``."""
-        self.fabric.impair(port, injector)
+    def impair(self, port: str, injector):
+        """Install a fault injector on the wire into ``port``.
+
+        Accepts a live :class:`~repro.faults.FaultInjector`, a registered
+        fault kind name (``"iid_loss"``), or a declarative spec dict
+        (``{"kind": "iid_loss", "rate": 0.05}``) resolved through
+        :func:`repro.faults.injector_from_spec`.  Returns the installed
+        injector so spec callers can reach its stats.
+        """
+        return self.fabric.impair(port, injector)
 
     def port_utilization(self, port: str, interval_ns: float) -> float:
         """Egress utilization of one port over an interval."""

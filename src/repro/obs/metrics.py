@@ -144,6 +144,29 @@ class Histogram:
         }
 
 
+def _merge_histogram_sample(child: "Histogram", sample: Dict[str, Any]) -> None:
+    """Add one snapshot histogram sample into a live histogram child."""
+    child.count += sample["count"]
+    child.sum += sample["sum"]
+    previous = 0
+    for key, cumulative in sorted(
+        ((float(k), v) for k, v in sample["buckets"].items() if k != "inf"),
+        key=lambda item: item[0],
+    ):
+        per_bucket = cumulative - previous
+        previous = cumulative
+        if not per_bucket:
+            continue
+        try:
+            index = child.bounds.index(key)
+        except ValueError:
+            raise ValueError(
+                f"histogram merge: bucket bound {key} missing from "
+                f"{child._parent.name} bounds {child.bounds}"
+            ) from None
+        child.bucket_counts[index] += per_bucket
+
+
 class MetricFamily:
     """One named metric: a help string, label names, and labelled children."""
 
@@ -313,6 +336,50 @@ class MetricsRegistry:
                     "series": series,
                 }
             return out
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` into this registry (cross-shard merge).
+
+        Counters and histograms are additive: counts, sums and per-bucket
+        tallies add up, so merging N worker snapshots yields the same
+        series a single process would have produced.  Gauges are also
+        summed — every gauge the datapath exports (queue depths, cache
+        occupancy, breaker states per distinctly-labelled chain) is either
+        naturally additive across disjoint shards or disjointly labelled,
+        in which case the sum degenerates to the single contributing
+        value.  Histogram bucket bounds are reconstructed from the
+        snapshot, so a fresh registry can absorb any worker's series.
+        """
+        for name, family_snap in snapshot.items():
+            labels = tuple(family_snap["labels"])
+            kind = family_snap["type"]
+            series = family_snap["series"]
+            if kind == "counter":
+                family = self.counter(name, family_snap["help"], labels)
+            elif kind == "gauge":
+                family = self.gauge(name, family_snap["help"], labels)
+            elif kind == "histogram":
+                bounds = sorted(
+                    float(key)
+                    for sample in series.values()
+                    for key in sample["buckets"]
+                    if key != "inf"
+                )
+                family = self.histogram(
+                    name, family_snap["help"], labels,
+                    buckets=tuple(dict.fromkeys(bounds)),
+                )
+            else:  # pragma: no cover - snapshot only emits the three kinds
+                raise ValueError(f"unknown metric type {kind!r}")
+            for key, sample in series.items():
+                values = tuple(key.split(",")) if key else ()
+                child = family.labels(*values)
+                if kind == "counter":
+                    child.inc(sample)
+                elif kind == "gauge":
+                    child.inc(sample)
+                else:
+                    _merge_histogram_sample(child, sample)
 
     def unregister(self, name: str) -> None:
         with self._lock:

@@ -1,0 +1,375 @@
+"""Scenario execution: one process or a sharded worker pool, same results.
+
+Both execution modes funnel through :func:`run_groups_inline`: each
+coupling group is built fresh from the spec (never pickled live), driven
+by its own :class:`~repro.sim.engine.EventEngine` whose ``shard`` id is
+the *group name* — so merged timelines sort identically no matter which
+worker ran which group — and summarized into a :class:`GroupResult` of
+plain data: slot reports, DU/RU counters, middlebox stats, uplink IQ
+hashes, and a canonical-JSON sha256 digest over all of it.
+
+The sharded path forks persistent workers (one per shard of the
+:func:`~repro.scale.shard.plan_shards` plan), sends each its group
+names, and steps them in ``batch_slots`` batches with a coordinator
+barrier between batches; with no ``batch_slots`` every worker free-runs
+the whole horizon — sound because coupling groups are atomic, so no
+packet ever crosses a shard boundary.  Workers ship back GroupResults
+(plain data) which merge into one :class:`ScenarioResult`: digests
+combine order-independently, metrics snapshots fold additively via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, timelines
+merge deterministically via :func:`~repro.sim.engine.merge_timelines`.
+
+Wall-clock-dependent series (``middlebox_wall_ns`` etc.) stay out of the
+digest on purpose: the digest certifies *simulation* results, which must
+be byte-identical across worker counts; wall time legitimately differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.scale.build import BuiltGroup, build_groups
+from repro.scale.shard import ShardPlan, plan_shards
+from repro.scale.spec import ScenarioSpec
+from repro.sim.engine import EventEngine, TimelineEntry, merge_timelines
+
+
+@dataclass
+class GroupResult:
+    """Plain-data summary of one coupling group's run (picklable)."""
+
+    name: str
+    cells: int
+    slots: int
+    events: int
+    reports: List[Dict[str, Any]]
+    cell_counters: Dict[str, Dict[str, Any]]
+    middlebox_stats: List[Dict[str, Any]]
+    timeline: List[TimelineEntry]
+    metrics: Dict[str, Dict[str, Any]]
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = self._compute_digest()
+
+    def _compute_digest(self) -> str:
+        """Canonical sha256 over the simulation-visible results only."""
+        payload = {
+            "group": self.name,
+            "slots": self.slots,
+            "reports": self.reports,
+            "cells": self.cell_counters,
+            "middleboxes": self.middlebox_stats,
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class ScenarioResult:
+    """The merged outcome of a scenario run (any worker count)."""
+
+    name: str
+    workers: int
+    wall_seconds: float
+    groups: Dict[str, GroupResult] = field(default_factory=dict)
+    plan: Optional[ShardPlan] = None
+
+    @property
+    def cells(self) -> int:
+        return sum(result.cells for result in self.groups.values())
+
+    @property
+    def slots(self) -> int:
+        return max(
+            (result.slots for result in self.groups.values()), default=0
+        )
+
+    @property
+    def cell_slots_per_second(self) -> float:
+        """Throughput: cell-slots simulated per wall second."""
+        if not self.wall_seconds:
+            return 0.0
+        return self.cells * self.slots / self.wall_seconds
+
+    @property
+    def digest(self) -> str:
+        """Order-independent combination of the group digests.
+
+        Identical across any shard plan if and only if every group
+        produced byte-identical results.
+        """
+        combined = hashlib.sha256()
+        for name in sorted(self.groups):
+            combined.update(name.encode())
+            combined.update(self.groups[name].digest.encode())
+        return combined.hexdigest()
+
+    def timeline(self) -> List[TimelineEntry]:
+        """One deterministic global event order across all groups."""
+        return merge_timelines(
+            result.timeline for result in self.groups.values()
+        )
+
+    def metrics(self) -> MetricsRegistry:
+        """All shards' metric snapshots folded into one registry."""
+        registry = MetricsRegistry()
+        for name in sorted(self.groups):
+            registry.merge_snapshot(self.groups[name].metrics)
+        return registry
+
+    def exposition(self) -> str:
+        """The merged metrics as Prometheus text."""
+        return render_prometheus(self.metrics())
+
+
+# -- single-group execution (both modes call this) ---------------------------
+
+
+def _uplink_sha256(du) -> str:
+    """Hash every uplink reception's wire-level IQ (order-sensitive)."""
+    digest = hashlib.sha256()
+    for reception in du.uplink_receptions:
+        digest.update(
+            f"{reception.time.frame},{reception.time.subframe},"
+            f"{reception.time.slot},{reception.time.symbol},"
+            f"{reception.ru_port}".encode()
+        )
+        for section in reception.sections:
+            digest.update(
+                f"{section.section_id},{section.start_prb},"
+                f"{section.num_prb}".encode()
+            )
+            digest.update(section.payload_bytes())
+    return digest.hexdigest()
+
+
+def _summarize_group(group: BuiltGroup, slots: int, events: int) -> GroupResult:
+    cell_counters: Dict[str, Dict[str, Any]] = {}
+    for built in group.cells:
+        cell_counters[built.spec.name] = {
+            "du": dataclasses.asdict(built.du.counters),
+            "rus": {
+                name: dataclasses.asdict(radio.counters)
+                for name, (radio, _) in built.rus.items()
+            },
+            "uplink_sha256": _uplink_sha256(built.du),
+        }
+    middlebox_stats = [
+        {
+            "name": box.name,
+            "kind": type(box).__name__,
+            **dataclasses.asdict(box.stats),
+        }
+        for box in group.middleboxes
+    ]
+    return GroupResult(
+        name=group.name,
+        cells=len(group.cells),
+        slots=slots,
+        events=events,
+        reports=[
+            dataclasses.asdict(report) for report in group.network.reports
+        ],
+        cell_counters=cell_counters,
+        middlebox_stats=middlebox_stats,
+        timeline=list(group.engine.timeline) if group.engine else [],
+        metrics=group.obs.registry.snapshot() if group.obs.enabled else {},
+    )
+
+
+def _attach_engines(groups: List[BuiltGroup]) -> None:
+    """Give every group an engine keyed by its *group name* (not worker)."""
+    for group in groups:
+        group.engine = EventEngine(
+            obs=group.obs, shard=group.name, record_timeline=True
+        )
+
+
+def _step_groups(groups: List[BuiltGroup], n_slots: int) -> int:
+    """Advance every group ``n_slots`` slots through its event engine.
+
+    Slots are scheduled at their nominal nanosecond start so the recorded
+    timeline carries real fronthaul timestamps, then the engine drains —
+    per-group, so one group's backlog never delays another's slots.
+    """
+    events = 0
+    for group in groups:
+        engine = group.engine
+        numerology = group.cells[0].config.numerology
+        slot_ns = numerology.slot_duration_ns
+        first = len(group.network.reports)
+        for offset in range(n_slots):
+            slot_index = first + offset
+
+            def _run_slot(network=group.network):
+                network.run_slot()
+
+            engine.schedule_at(
+                max(slot_index * slot_ns, engine.now_ns),
+                _run_slot,
+                label=f"{group.name}/slot{slot_index}",
+            )
+            events += engine.run()
+    return events
+
+
+def run_groups_inline(
+    spec: ScenarioSpec, names: Optional[List[str]] = None
+) -> List[GroupResult]:
+    """Build and run a subset of groups to completion in this process."""
+    groups = build_groups(spec, names)
+    _attach_engines(groups)
+    batch = spec.batch_slots or spec.slots
+    done = 0
+    events = 0
+    while done < spec.slots:
+        step = min(batch, spec.slots - done)
+        events += _step_groups(groups, step)
+        done += step
+    return [_summarize_group(group, spec.slots, events) for group in groups]
+
+
+# -- sharded execution --------------------------------------------------------
+
+
+def _worker_main(conn, spec_dict: Dict[str, Any], names: List[str]) -> None:
+    """Worker loop: build from the spec dict, step on command, ship results.
+
+    Protocol (coordinator -> worker): ``("run", n_slots)`` advances every
+    local group and acks ``("ok", events)`` — the coordinator waiting for
+    every ack IS the batch barrier; ``("collect",)`` returns
+    ``("result", [GroupResult...])``; ``("exit",)`` ends the worker.  Any
+    exception ships back as ``("error", traceback)``.
+    """
+    failure = None
+    groups: List[BuiltGroup] = []
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        groups = build_groups(spec, names)
+        _attach_engines(groups)
+    except Exception:
+        # Stay alive and answer every command with the traceback: closing
+        # the pipe here would hand the coordinator a BrokenPipeError
+        # instead of the actual build failure.
+        failure = traceback.format_exc()
+    while True:
+        command = conn.recv()
+        try:
+            if command[0] == "exit":
+                break
+            if failure is not None:
+                conn.send(("error", failure))
+            elif command[0] == "run":
+                events = _step_groups(groups, command[1])
+                conn.send(("ok", events))
+            elif command[0] == "collect":
+                results = [
+                    _summarize_group(group, len(group.network.reports), 0)
+                    for group in groups
+                ]
+                conn.send(("result", results))
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def _expect(conn, kind: str):
+    reply = conn.recv()
+    if reply[0] == "error":
+        raise RuntimeError(f"scale worker failed:\n{reply[1]}")
+    if reply[0] != kind:
+        raise RuntimeError(f"scale worker protocol error: {reply!r}")
+    return reply[1]
+
+
+def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
+    """Run a scenario single-process (``workers=1``) or sharded.
+
+    Identical results either way: same builds, same seeds, same per-group
+    engines.  Only wall time differs.
+    """
+    if workers <= 1:
+        started = time.perf_counter()
+        results = run_groups_inline(spec)
+        wall = time.perf_counter() - started
+        return ScenarioResult(
+            name=spec.name,
+            workers=1,
+            wall_seconds=wall,
+            groups={result.name: result for result in results},
+        )
+
+    plan = plan_shards(spec, workers)
+    context = _mp_context()
+    spec_dict = spec.to_dict()
+    connections = []
+    processes = []
+    started = time.perf_counter()
+    try:
+        for names in plan.shards:
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child, spec_dict, names),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            connections.append(parent)
+            processes.append(process)
+        batch = spec.batch_slots or spec.slots
+        done = 0
+        while done < spec.slots:
+            step = min(batch, spec.slots - done)
+            for conn in connections:
+                conn.send(("run", step))
+            # Barrier: every shard finishes the batch before any proceeds.
+            for conn in connections:
+                _expect(conn, "ok")
+            done += step
+        groups: Dict[str, GroupResult] = {}
+        for conn in connections:
+            conn.send(("collect",))
+        for conn in connections:
+            for result in _expect(conn, "result"):
+                groups[result.name] = result
+        wall = time.perf_counter() - started
+        for conn in connections:
+            conn.send(("exit",))
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+    return ScenarioResult(
+        name=spec.name,
+        workers=plan.workers,
+        wall_seconds=wall,
+        groups=groups,
+        plan=plan,
+    )

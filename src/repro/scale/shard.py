@@ -1,0 +1,68 @@
+"""Deterministic shard planning over atomic coupling groups.
+
+The planner never splits a coupling group: cells that share a middlebox
+touchpoint (a cross-cell DAS merge, a shared RU) always land on one
+shard, so every packet-level interaction stays worker-local and the only
+coordination a sharded run ever needs is the per-batch barrier at the
+coordinator.  Placement is greedy LPT (heaviest group first onto the
+lightest shard) with name tie-breaks, so the same spec always yields the
+same plan — a precondition for the sharded-equals-single-process check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.scale.spec import ScenarioSpec
+
+
+@dataclass
+class ShardPlan:
+    """Which coupling groups run on which worker."""
+
+    #: shard index -> group names, in execution order.
+    shards: List[List[str]] = field(default_factory=list)
+    #: Cross-cell touchpoints: multi-cell group name -> its cell names.
+    #: These are exactly the couplings that force atomic placement.
+    touchpoints: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def workers(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, group: str) -> int:
+        for index, names in enumerate(self.shards):
+            if group in names:
+                return index
+        raise KeyError(f"group {group!r} not in plan")
+
+
+def plan_shards(spec: ScenarioSpec, workers: int) -> ShardPlan:
+    """Partition the spec's coupling groups across ``workers`` shards.
+
+    Groups are weighed by cell count (the slot loop cost scales with the
+    number of DUs driven).  More workers than groups would idle, so the
+    shard count is capped at the group count.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    grouped = spec.groups()
+    workers = min(workers, len(grouped))
+    # Heaviest first; name breaks ties so the plan is reproducible.
+    ordered = sorted(
+        grouped.items(), key=lambda item: (-len(item[1]), item[0])
+    )
+    plan = ShardPlan(shards=[[] for _ in range(workers)])
+    loads = [0] * workers
+    for name, members in ordered:
+        lightest = loads.index(min(loads))
+        plan.shards[lightest].append(name)
+        loads[lightest] += len(members)
+        if len(members) > 1:
+            plan.touchpoints[name] = [cell.name for cell in members]
+    # Execution order inside a shard follows spec declaration order.
+    declaration = {name: i for i, name in enumerate(grouped)}
+    for names in plan.shards:
+        names.sort(key=declaration.__getitem__)
+    return plan

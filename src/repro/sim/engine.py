@@ -16,10 +16,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro import obs as obs_module
 from repro.obs import Observability
+
+#: One executed event of a shard's timeline: ``(time_ns, shard, seq,
+#: label)``.  The tuple order IS the deterministic merge order — time
+#: first, then shard id, then the shard-local FIFO sequence — so merging
+#: timelines from any number of shards always yields the same interleaving
+#: regardless of worker scheduling.
+TimelineEntry = Tuple[float, str, int, str]
 
 
 @dataclass(order=True)
@@ -33,10 +40,26 @@ class Event:
 
 
 class EventEngine:
-    """Priority-queue event loop; deterministic FIFO tie-breaking."""
+    """Priority-queue event loop; deterministic FIFO tie-breaking.
 
-    def __init__(self, obs: Optional[Observability] = None):
+    ``shard`` names the execution shard this engine drives (empty for
+    single-process runs).  With ``record_timeline`` on, every executed
+    event leaves a :data:`TimelineEntry`; the per-shard timelines of a
+    sharded run merge deterministically via :func:`merge_timelines`, so
+    the scale-out runner can reconstruct one global event order from
+    workers that never synchronized.
+    """
+
+    def __init__(
+        self,
+        obs: Optional[Observability] = None,
+        shard: str = "",
+        record_timeline: bool = False,
+    ):
         self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
+        self.shard = shard
+        self.record_timeline = record_timeline
+        self.timeline: List[TimelineEntry] = []
         self._queue: List[Event] = []
         self._counter = itertools.count()
         self.now_ns: float = 0.0
@@ -99,6 +122,10 @@ class EventEngine:
                 registry.gauge(
                     "engine_queue_depth", "pending events in the event engine"
                 ).set(len(self._queue))
+            if self.record_timeline:
+                self.timeline.append(
+                    (event.time_ns, self.shard, event.sequence, event.label)
+                )
             event.action()
             processed += 1
         self.processed += processed
@@ -108,3 +135,22 @@ class EventEngine:
 
     def pending(self) -> int:
         return len(self._queue)
+
+
+def merge_timelines(
+    timelines: Iterable[Iterable[TimelineEntry]],
+) -> List[TimelineEntry]:
+    """Deterministically merge per-shard event timelines.
+
+    Entries sort by ``(time_ns, shard, seq)``: simulated time first, then
+    shard id as the tie-break (so simultaneous events from different
+    shards interleave by name, not by worker completion order), then the
+    shard-local FIFO sequence.  The result is independent of how the run
+    was partitioned — the property the sharded-equals-single-process
+    check relies on.
+    """
+    merged: List[TimelineEntry] = []
+    for timeline in timelines:
+        merged.extend(tuple(entry) for entry in timeline)
+    merged.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    return merged

@@ -144,7 +144,9 @@ class FronthaulNetwork:
         breaker_threshold: int = 5,
         breaker_probation: int = 16,
         obs=None,
+        name: str = "network",
     ):
+        self.name = name
         self.middleboxes = list(middleboxes)
         self.environment = environment or RadioEnvironment()
         self._dus: Dict[int, DistributedUnit] = {}
@@ -168,7 +170,7 @@ class FronthaulNetwork:
         if self.middleboxes:
             self.chain = MiddleboxChain(
                 self.middleboxes,
-                name="network",
+                name=name,
                 obs=obs,
                 isolate_faults=isolate_faults,
                 breaker_threshold=breaker_threshold,
@@ -314,7 +316,11 @@ class FronthaulNetwork:
             report.degraded_merges += len(flushed)
             # A degraded merge leaves the DAS mid-chain: it still has to
             # traverse the uplink tail of the chain towards the DUs.
-            for packet in self.chain.process_uplink_from(stage, flushed):
+            # deadline_flush=False keeps lower hold-capable stages from
+            # re-capturing a merge already forced out at the boundary.
+            for packet in self.chain.process_uplink(
+                flushed, source=stage, deadline_flush=False
+            ):
                 self._deliver_uplink(packet, report)
 
     def run(

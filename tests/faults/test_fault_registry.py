@@ -1,0 +1,118 @@
+"""Declarative fault specs: names and dicts resolve through the registry."""
+
+import pytest
+
+from repro.core.chain import FronthaulSwitch, PortRole
+from repro.faults import (
+    FaultInjector,
+    fault_config_from_spec,
+    fault_kinds,
+    injector_from_spec,
+)
+from repro.fronthaul.cplane import CPlaneMessage, CPlaneSection, Direction
+from repro.fronthaul.ethernet import MacAddress
+from repro.fronthaul.packet import make_packet
+from repro.fronthaul.timing import SymbolTime
+from repro.net.switch import EthernetSwitch, PortSpec
+
+
+def packet(src, dst):
+    return make_packet(
+        src, dst,
+        CPlaneMessage(
+            direction=Direction.DOWNLINK,
+            time=SymbolTime(0, 0, 0, 0),
+            sections=[CPlaneSection(0, 0, 50)],
+        ),
+    )
+
+
+def test_builtin_kinds_registered():
+    kinds = fault_kinds()
+    for kind in ("iid_loss", "gilbert_elliott", "corrupt", "jitter",
+                 "duplicate", "reorder", "truncate", "chaos"):
+        assert kind in kinds
+
+
+def test_string_spec_uses_defaults():
+    config = fault_config_from_spec("duplicate")
+    assert config.duplicate_rate > 0
+
+
+def test_dict_spec_sets_params():
+    config = fault_config_from_spec({"kind": "iid_loss", "rate": 0.25})
+    assert config.loss_rate == 0.25
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(KeyError, match="unknown fault kind"):
+        fault_config_from_spec("gremlins")
+
+
+def test_unknown_param_rejected():
+    with pytest.raises((KeyError, TypeError)):
+        fault_config_from_spec({"kind": "iid_loss", "bogus": 1})
+
+
+def test_injector_from_spec_seeded_and_scoped():
+    injector = injector_from_spec(
+        {"kind": "iid_loss", "rate": 1.0, "seed": 3,
+         "scope": {"direction": "dl"}}
+    )
+    assert isinstance(injector, FaultInjector)
+    again = injector_from_spec(
+        {"kind": "iid_loss", "rate": 1.0, "seed": 3,
+         "scope": {"direction": "dl"}}
+    )
+    src, dst = MacAddress.from_int(1), MacAddress.from_int(2)
+    survivors = [len(injector.apply([packet(src, dst)])) for _ in range(8)]
+    replayed = [len(again.apply([packet(src, dst)])) for _ in range(8)]
+    assert survivors == replayed
+    assert injector.stats.absorbed == again.stats.absorbed
+
+
+class TestSwitchImpairBySpec:
+    def setup_method(self):
+        self.du_mac = MacAddress.from_int(1)
+        self.ru_mac = MacAddress.from_int(2)
+        self.ru_rx = []
+
+    def _wire(self, switch):
+        switch.attach("du", PortRole.DU, [self.du_mac], lambda p: None)
+        switch.attach("ru", PortRole.RU, [self.ru_mac], self.ru_rx.append)
+
+    def test_core_switch_accepts_spec_dict(self):
+        switch = FronthaulSwitch()
+        self._wire(switch)
+        installed = switch.impair(
+            "ru", {"kind": "iid_loss", "rate": 1.0, "seed": 1}
+        )
+        assert isinstance(installed, FaultInjector)
+        switch.inject(packet(self.du_mac, self.ru_mac), "du")
+        assert not self.ru_rx
+        assert installed.stats.absorbed == 1
+
+    def test_core_switch_accepts_kind_name(self):
+        switch = FronthaulSwitch()
+        self._wire(switch)
+        installed = switch.impair("ru", "duplicate")
+        assert isinstance(installed, FaultInjector)
+
+    def test_core_switch_still_accepts_live_injector(self):
+        switch = FronthaulSwitch()
+        self._wire(switch)
+        live = injector_from_spec("iid_loss")
+        assert switch.impair("ru", live) is live
+
+    def test_ethernet_switch_delegates_spec_resolution(self):
+        switch = EthernetSwitch()
+        switch.attach(PortSpec("du"), PortRole.DU, [self.du_mac],
+                      lambda p: None)
+        switch.attach(PortSpec("ru"), PortRole.RU, [self.ru_mac],
+                      self.ru_rx.append)
+        installed = switch.impair(
+            "ru", {"kind": "iid_loss", "rate": 1.0, "seed": 2}
+        )
+        assert isinstance(installed, FaultInjector)
+        switch.inject(packet(self.du_mac, self.ru_mac), "du")
+        assert not self.ru_rx

@@ -1,0 +1,147 @@
+"""Scenario spec round-trips: dict -> spec -> dict -> spec -> build."""
+
+import json
+import os
+
+import pytest
+
+from repro.scale import Scenario, ScenarioSpec
+from repro.scale.spec import CellSpec, RuSpec
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "bench_8cell.json")
+
+
+def _tiny_spec_dict(**overrides):
+    data = {
+        "name": "tiny",
+        "slots": 3,
+        "seed": 5,
+        "cells": [
+            {
+                "name": "alpha",
+                "pci": 1,
+                "bandwidth_hz": 20_000_000,
+                "rus": [{"name": "alpha-ru1"}, {"name": "alpha-ru2"}],
+                "ues": [
+                    {
+                        "ue_id": "u1",
+                        "flows": [
+                            {"kind": "cbr", "rate_mbps": 30, "direction": "dl"},
+                            {"kind": "poisson", "rate_mbps": 5,
+                             "direction": "ul", "seed": 2},
+                        ],
+                    }
+                ],
+                "chain": [{"stage": "das", "params": {"partial_merge": True}}],
+            },
+            {
+                "name": "beta",
+                "pci": 2,
+                "bandwidth_hz": 20_000_000,
+                "profile": "CapGemini",
+                "rus": [{"name": "beta-ru1"}],
+                "chain": [{"stage": "prb_monitor"}],
+            },
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+def test_dict_round_trip_is_exact():
+    spec = ScenarioSpec.from_dict(_tiny_spec_dict())
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_json_round_trip_is_exact():
+    spec = ScenarioSpec.from_dict(_tiny_spec_dict())
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_round_tripped_spec_builds_equivalent_objects():
+    spec = ScenarioSpec.from_dict(_tiny_spec_dict())
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    originals = spec.build()
+    copies = rebuilt.build()
+    assert [g.name for g in originals] == [g.name for g in copies]
+    for original, copy in zip(originals, copies):
+        assert len(original.cells) == len(copy.cells)
+        for a, b in zip(original.cells, copy.cells):
+            assert a.du.du_id == b.du.du_id
+            assert a.du.mac == b.du.mac
+            assert a.profile.name == b.profile.name
+            assert a.config.num_prb == b.config.num_prb
+            assert sorted(a.rus) == sorted(b.rus)
+            for name in a.rus:
+                assert a.rus[name][0].mac == b.rus[name][0].mac
+        assert [type(m).__name__ for m in original.middleboxes] == [
+            type(m).__name__ for m in copy.middleboxes
+        ]
+
+
+def test_cell_seeds_are_deterministic_and_spec_order_stable():
+    spec = ScenarioSpec.from_dict(_tiny_spec_dict())
+    assert spec.cell_seed(spec.cells[0]) == 5000
+    assert spec.cell_seed(spec.cells[1]) == 5001
+    pinned = ScenarioSpec.from_dict(
+        _tiny_spec_dict(
+            cells=[
+                dict(_tiny_spec_dict()["cells"][0], seed=99),
+                _tiny_spec_dict()["cells"][1],
+            ]
+        )
+    )
+    assert pinned.cell_seed(pinned.cells[0]) == 99
+
+
+def test_unknown_keys_rejected_at_every_level():
+    with pytest.raises(KeyError):
+        ScenarioSpec.from_dict(_tiny_spec_dict(bogus=1))
+    bad_cell = _tiny_spec_dict()
+    bad_cell["cells"][0]["bogus"] = 1
+    with pytest.raises(KeyError):
+        ScenarioSpec.from_dict(bad_cell)
+    bad_ru = _tiny_spec_dict()
+    bad_ru["cells"][0]["rus"][0]["bogus"] = 1
+    with pytest.raises(KeyError):
+        ScenarioSpec.from_dict(bad_ru)
+
+
+def test_validation_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        ScenarioSpec(name="x", cells=())
+    cell = CellSpec(name="a", pci=1, rus=(RuSpec(name="r1"),))
+    with pytest.raises(ValueError):
+        ScenarioSpec(name="x", cells=(cell, cell))
+
+
+def test_coupling_groups_follow_declaration_order():
+    data = _tiny_spec_dict()
+    data["cells"][0]["group"] = "pair"
+    data["cells"][1]["group"] = "pair"
+    spec = ScenarioSpec.from_dict(data)
+    assert list(spec.groups()) == ["pair"]
+    assert [c.name for c in spec.groups()["pair"]] == ["alpha", "beta"]
+
+
+def test_golden_8cell_fixture_matches_bench_topology():
+    """The shipped fixture IS the benchmark scenario, byte for byte."""
+    from repro.eval.scale import bench_spec
+
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert bench_spec(40).to_json() + "\n" == golden
+    spec = ScenarioSpec.from_json(golden)
+    assert len(spec.cells) == 8
+    assert spec.groups()["campus"][0].name == "cell7"
+    groups = Scenario(spec).build()
+    assert sorted(g.name for g in groups) == sorted(spec.groups())
+
+
+def test_golden_fixture_json_is_canonical():
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    spec = ScenarioSpec.from_dict(data)
+    assert spec.to_dict() == data
