@@ -15,8 +15,9 @@ layer and the combination is interference-free.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.actions import ActionContext, ExecLocation
 from repro.core.middlebox import Middlebox
@@ -87,6 +88,22 @@ class DasMiddlebox(Middlebox):
         self.late_uplink_packets = 0
         self._merged_keys: Set[Tuple] = set()
         self._merged_order: deque = deque(maxlen=512)
+        #: Per-eAxC seq counter for the DU-facing merged stream: the DAS
+        #: originates that stream, so it cannot reuse a source RU's seq
+        #: (a merge of N packets into one would leave wire-visible gaps).
+        self._seq: Dict[int, int] = {}
+
+    def _next_seq(self, eaxc_int: int) -> int:
+        seq = self._seq.get(eaxc_int, 0)
+        self._seq[eaxc_int] = (seq + 1) % 256
+        return seq
+
+    def _merged_ecpri(self, template: FronthaulPacket):
+        """The merged packet's eCPRI header: template flow, own seq."""
+        eaxc = template.ecpri.eaxc
+        return dataclasses.replace(
+            template.ecpri, seq_id=self._next_seq(eaxc.to_int())
+        )
 
     @property
     def ru_macs(self) -> List[MacAddress]:
@@ -174,7 +191,7 @@ class DasMiddlebox(Middlebox):
             filter_index=packet.message.filter_index,
         )
         out = FronthaulPacket(
-            eth=packet.eth, ecpri=packet.ecpri, message=merged
+            eth=packet.eth, ecpri=self._merged_ecpri(packet), message=merged
         )
         # The merged packet replaces all cached ones: forward it, the
         # remaining (len-1) cached packets are implicitly dropped.
@@ -312,7 +329,7 @@ class DasMiddlebox(Middlebox):
             filter_index=template.message.filter_index,
         )
         out = FronthaulPacket(
-            eth=template.eth, ecpri=template.ecpri, message=merged
+            eth=template.eth, ecpri=self._merged_ecpri(template), message=merged
         )
         ctx.forward(out, dst=self.du_mac, src=self.mac)
         self.stats.processing_ns_total += ctx.trace.total_ns()

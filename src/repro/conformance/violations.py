@@ -1,0 +1,149 @@
+"""Structured conformance violations and the mergeable report.
+
+A :class:`Violation` is one observed departure from the O-RAN/eCPRI
+rules the repo implements, classified by :class:`ViolationClass` and
+carrying enough wire coordinates (tap, source MAC, eAxC, seq, slot) to
+find the offending frame in a flight-recorder trace.
+
+:class:`ConformanceReport` accumulates violations plus per-class
+counters, and merges order-independently so per-shard validators in a
+sharded scenario run fold into one report (plain-data ``to_dict`` /
+``from_dict`` makes it picklable across the worker pipe).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class ViolationClass(str, enum.Enum):
+    """Taxonomy of wire-level conformance violations."""
+
+    #: eCPRI ``payloadSize`` disagrees with the bytes actually on the wire.
+    BAD_ECPRI_LENGTH = "bad_ecpri_length"
+    #: Frame fails to parse at all (bad version, truncation, trailing junk).
+    MALFORMED_FRAME = "malformed_frame"
+    #: Section structure broken: overlap, empty, or outside the carrier.
+    SECTION_STRUCTURE = "section_structure"
+    #: U-plane PRBs not covered by any C-plane section that scheduled them.
+    PRB_SECTION_MISMATCH = "prb_section_mismatch"
+    #: Section compression config differs from the vendor stack profile.
+    BFP_WIDTH_MISMATCH = "bfp_width_mismatch"
+    #: BFP exponent byte outside the legal range for the mantissa width.
+    ILLEGAL_BFP_EXPONENT = "illegal_bfp_exponent"
+    #: Sequence numbers skipped within a stream (loss).
+    SEQ_GAP = "seq_gap"
+    #: A sequence number repeated within a stream (duplicate).
+    SEQ_DUP = "seq_dup"
+    #: Slot timestamp regressed against the stream's progress (stale).
+    STALE_SLOT = "stale_slot"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured conformance finding."""
+
+    violation_class: ViolationClass
+    detail: str
+    tap: str = ""
+    src: str = ""
+    eaxc: Optional[int] = None
+    seq: Optional[int] = None
+    #: ``(frame, subframe, slot, symbol)`` of the offending message.
+    time: Optional[tuple] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.violation_class.value,
+            "detail": self.detail,
+            "tap": self.tap,
+            "src": self.src,
+            "eaxc": self.eaxc,
+            "seq": self.seq,
+            "time": list(self.time) if self.time is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(
+            violation_class=ViolationClass(data["class"]),
+            detail=data["detail"],
+            tap=data.get("tap", ""),
+            src=data.get("src", ""),
+            eaxc=data.get("eaxc"),
+            seq=data.get("seq"),
+            time=tuple(data["time"]) if data.get("time") else None,
+        )
+
+    def __str__(self) -> str:
+        where = f" @{self.tap}" if self.tap else ""
+        return f"[{self.violation_class.value}]{where} {self.detail}"
+
+
+@dataclass
+class ConformanceReport:
+    """Violation accumulator: counters always, records up to a cap."""
+
+    #: Retain at most this many full records (counters stay exact).
+    max_records: int = 256
+    frames_checked: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    records: List[Violation] = field(default_factory=list)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def record(self, violation: Violation) -> None:
+        key = violation.violation_class.value
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if len(self.records) < self.max_records:
+            self.records.append(violation)
+
+    def count(self, violation_class: ViolationClass) -> int:
+        return self.counts.get(violation_class.value, 0)
+
+    def merge(self, other: "ConformanceReport") -> "ConformanceReport":
+        """Fold another report in (per-shard reports -> one report)."""
+        self.frames_checked += other.frames_checked
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+        room = self.max_records - len(self.records)
+        if room > 0:
+            self.records.extend(other.records[:room])
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "frames_checked": self.frames_checked,
+            "counts": dict(self.counts),
+            "records": [record.as_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConformanceReport":
+        report = cls(
+            frames_checked=data.get("frames_checked", 0),
+            counts=dict(data.get("counts", {})),
+        )
+        report.records = [
+            Violation.from_dict(record) for record in data.get("records", ())
+        ]
+        return report
+
+    def format(self) -> str:
+        lines = [
+            f"frames checked: {self.frames_checked}, "
+            f"violations: {self.total_violations}"
+        ]
+        for key in sorted(self.counts):
+            lines.append(f"  {key}: {self.counts[key]}")
+        for record in self.records[:10]:
+            lines.append(f"  - {record}")
+        return "\n".join(lines)

@@ -16,6 +16,7 @@ from typing import Callable, Dict
 def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.appendix import run_cost_analysis, run_sharing_math
     from repro.eval.chaos import run_chaos
+    from repro.eval.conformance import run_conformance
     from repro.eval.fig10 import run_fig10a, run_fig10b, run_fig10c
     from repro.eval.fig11 import run_fig11
     from repro.eval.fig12 import run_fig12
@@ -47,6 +48,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "appendix_a1": lambda: run_sharing_math().format(),
         "appendix_a2": lambda: run_cost_analysis().format(),
         "chaos": lambda: run_chaos().format(),
+        "conformance": lambda: run_conformance().format(),
         "scale": _scale,
     }
 

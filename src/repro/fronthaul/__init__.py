@@ -16,6 +16,12 @@ Implements the CUS-plane wire formats the paper's middleboxes operate on:
 - :mod:`repro.fronthaul.packet` -- top-level parse/serialize entry points.
 """
 
+from repro.fronthaul.errors import (
+    EcpriLengthError,
+    MalformedFrame,
+    TrailingBytes,
+    TruncatedFrame,
+)
 from repro.fronthaul.ethernet import EthernetHeader, MacAddress, VlanTag
 from repro.fronthaul.ecpri import EAxCId, EcpriHeader, EcpriMessageType
 from repro.fronthaul.compression import (
@@ -35,6 +41,10 @@ from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
 from repro.fronthaul.packet import FronthaulPacket, parse_packet
 
 __all__ = [
+    "MalformedFrame",
+    "TruncatedFrame",
+    "EcpriLengthError",
+    "TrailingBytes",
     "EthernetHeader",
     "MacAddress",
     "VlanTag",

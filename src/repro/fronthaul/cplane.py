@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.fronthaul.compression import CompressionConfig
+from repro.fronthaul.errors import MalformedFrame, TrailingBytes, TruncatedFrame
 from repro.fronthaul.timing import SymbolTime
 
 #: On-wire numPrb value meaning "all PRBs of the carrier" (needed because
@@ -112,7 +113,7 @@ class CPlaneSection:
     ) -> Tuple["CPlaneSection", int]:
         layout = cls._TYPE1 if section_type is SectionType.DATA else cls._TYPE3
         if len(data) - offset < layout.size:
-            raise ValueError("truncated C-plane section")
+            raise TruncatedFrame("truncated C-plane section")
         fields = layout.unpack_from(data, offset)
         head = int.from_bytes(fields[0], "big")
         num_prb = fields[1]
@@ -202,19 +203,24 @@ class CPlaneMessage:
         cls, data: bytes, carrier_num_prb: Optional[int] = None
     ) -> "CPlaneMessage":
         if len(data) < cls._HDR_COMMON.size:
-            raise ValueError("truncated C-plane header")
+            raise TruncatedFrame("truncated C-plane header")
         first, frame, timing, n_sections, stype_raw = cls._HDR_COMMON.unpack_from(data)
-        section_type = SectionType(stype_raw)
+        try:
+            section_type = SectionType(stype_raw)
+        except ValueError:
+            raise MalformedFrame(
+                f"unknown C-plane section type: {stype_raw}"
+            ) from None
         offset = cls._HDR_COMMON.size
         time_offset = frame_structure = cp_length = 0
         if section_type is SectionType.DATA:
             if len(data) < offset + cls._HDR_TYPE1_TAIL.size:
-                raise ValueError("truncated C-plane type-1 header")
+                raise TruncatedFrame("truncated C-plane type-1 header")
             comp_byte, _ = cls._HDR_TYPE1_TAIL.unpack_from(data, offset)
             offset += cls._HDR_TYPE1_TAIL.size
         else:
             if len(data) < offset + cls._HDR_TYPE3_TAIL.size:
-                raise ValueError("truncated C-plane type-3 header")
+                raise TruncatedFrame("truncated C-plane type-3 header")
             time_offset, frame_structure, cp_length, comp_byte = (
                 cls._HDR_TYPE3_TAIL.unpack_from(data, offset)
             )
@@ -239,6 +245,11 @@ class CPlaneMessage:
                 data, offset, section_type, carrier_num_prb
             )
             message.sections.append(section)
+        if offset != len(data):
+            raise TrailingBytes(
+                f"{len(data) - offset} trailing bytes after "
+                f"{n_sections} C-plane sections"
+            )
         return message
 
     def total_prbs(self) -> int:

@@ -16,6 +16,8 @@ import struct
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+from repro.fronthaul.errors import MalformedFrame, TruncatedFrame
+
 ECPRI_VERSION = 1
 
 _COMMON = struct.Struct("!BBH")
@@ -114,14 +116,20 @@ class EcpriHeader:
         cls, data: bytes, widths: Tuple[int, int, int, int] = (4, 4, 4, 4)
     ) -> Tuple["EcpriHeader", int]:
         if len(data) < ECPRI_HEADER_SIZE:
-            raise ValueError("truncated eCPRI header")
+            raise TruncatedFrame("truncated eCPRI header")
         first, msg_type, payload_size = _COMMON.unpack_from(data)
         version = (first >> 4) & 0xF
         if version != ECPRI_VERSION:
-            raise ValueError(f"unsupported eCPRI version: {version}")
+            raise MalformedFrame(f"unsupported eCPRI version: {version}")
+        try:
+            message_type = EcpriMessageType(msg_type)
+        except ValueError:
+            raise MalformedFrame(
+                f"unknown eCPRI message type: {msg_type}"
+            ) from None
         eaxc_raw, seq_raw = _IDS.unpack_from(data, _COMMON.size)
         header = cls(
-            message_type=EcpriMessageType(msg_type),
+            message_type=message_type,
             payload_size=payload_size,
             eaxc=EAxCId.from_int(eaxc_raw, widths),
             seq_id=(seq_raw >> 8) & 0xFF,

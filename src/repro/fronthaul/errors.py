@@ -1,0 +1,31 @@
+"""Typed malformed-frame errors raised by the wire parsers.
+
+Every parser in :mod:`repro.fronthaul` raises a subclass of
+:class:`MalformedFrame` when the bytes on the wire cannot be a legal
+O-RAN frame.  The hierarchy subclasses :class:`ValueError` on purpose:
+all existing containment points (the switch's per-delivery guard, the
+network slot loop, DU/RU ingress) already catch ``ValueError``, so
+strictness upgrades never turn an absorbed bad frame into a crash.
+
+The distinct subclasses let the conformance validator classify *why* a
+frame failed to parse — a truncated section and a lying eCPRI length
+field are different violations even though both are unparseable.
+"""
+
+from __future__ import annotations
+
+
+class MalformedFrame(ValueError):
+    """A frame that violates the wire format and cannot be parsed."""
+
+
+class TruncatedFrame(MalformedFrame):
+    """The buffer ends before a declared header/section/payload does."""
+
+
+class EcpriLengthError(MalformedFrame):
+    """The eCPRI ``payloadSize`` field disagrees with the actual body."""
+
+
+class TrailingBytes(MalformedFrame):
+    """Bytes remain after the message's declared content was consumed."""

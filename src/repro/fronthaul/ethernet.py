@@ -13,6 +13,8 @@ import struct
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.fronthaul.errors import TruncatedFrame
+
 ETHERTYPE_ECPRI = 0xAEFE
 ETHERTYPE_VLAN = 0x8100
 
@@ -119,7 +121,7 @@ class EthernetHeader:
     def unpack(cls, data: bytes) -> Tuple["EthernetHeader", int]:
         """Parse a header from ``data``; return (header, bytes consumed)."""
         if len(data) < _HDR_NO_VLAN.size:
-            raise ValueError("truncated Ethernet header")
+            raise TruncatedFrame("truncated Ethernet header")
         dst, src, ethertype = _HDR_NO_VLAN.unpack_from(data)
         if ethertype != ETHERTYPE_VLAN:
             return (
@@ -127,7 +129,7 @@ class EthernetHeader:
                 _HDR_NO_VLAN.size,
             )
         if len(data) < _HDR_VLAN.size:
-            raise ValueError("truncated 802.1Q header")
+            raise TruncatedFrame("truncated 802.1Q header")
         dst, src, _, tci, inner = _HDR_VLAN.unpack_from(data)
         return (
             cls(

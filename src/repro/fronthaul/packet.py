@@ -14,9 +14,11 @@ from typing import Optional, Tuple, Union
 
 from repro.fronthaul.cplane import CPlaneMessage, Direction
 from repro.fronthaul.ecpri import (
+    ECPRI_HEADER_SIZE,
     EcpriHeader,
     EcpriMessageType,
 )
+from repro.fronthaul.errors import EcpriLengthError, MalformedFrame
 from repro.fronthaul.ethernet import ETHERTYPE_ECPRI, EthernetHeader, MacAddress
 from repro.fronthaul.uplane import UPlaneMessage
 
@@ -110,11 +112,27 @@ def make_packet(
 def parse_packet(
     data: bytes, carrier_num_prb: Optional[int] = None
 ) -> FronthaulPacket:
-    """Parse a full on-wire frame back into a :class:`FronthaulPacket`."""
+    """Parse a full on-wire frame back into a :class:`FronthaulPacket`.
+
+    Strict: the eCPRI ``payloadSize`` field must account for every byte
+    after the common header.  A truncated frame — even one cut exactly at
+    a section boundary, which would otherwise parse as a shorter message
+    — therefore raises :class:`EcpriLengthError` instead of silently
+    decoding garbage IQ.
+    """
     eth, offset = EthernetHeader.unpack(data)
     if eth.ethertype != ETHERTYPE_ECPRI:
-        raise ValueError(f"not an eCPRI frame: ethertype 0x{eth.ethertype:04x}")
+        raise MalformedFrame(
+            f"not an eCPRI frame: ethertype 0x{eth.ethertype:04x}"
+        )
     ecpri, consumed = EcpriHeader.unpack(data[offset:])
+    # payloadSize counts the eAxC id + seq id words (4 bytes) + the body.
+    declared = ecpri.payload_size
+    actual = len(data) - offset - ECPRI_HEADER_SIZE + 4
+    if declared != actual:
+        raise EcpriLengthError(
+            f"eCPRI payloadSize {declared} != {actual} bytes on the wire"
+        )
     if ecpri.message_type is EcpriMessageType.RT_CONTROL:
         message: Message = CPlaneMessage.unpack(
             data[offset + consumed :], carrier_num_prb

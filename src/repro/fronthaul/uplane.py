@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.fronthaul.compression import BfpCompressor, CompressionConfig
 from repro.fronthaul.cplane import ALL_PRBS, Direction
+from repro.fronthaul.errors import TruncatedFrame
 from repro.fronthaul.timing import SymbolTime
 
 _HDR = struct.Struct("!BBH")
@@ -210,7 +211,7 @@ class UPlaneSection:
         cls, data: PayloadBytes, offset: int, carrier_num_prb: Optional[int] = None
     ) -> Tuple["UPlaneSection", int]:
         if len(data) - offset < _SECTION_HDR.size:
-            raise ValueError("truncated U-plane section header")
+            raise TruncatedFrame("truncated U-plane section header")
         head, num_prb, comp_byte, _ = _SECTION_HDR.unpack_from(data, offset)
         head = int.from_bytes(head, "big")
         offset += _SECTION_HDR.size
@@ -221,7 +222,7 @@ class UPlaneSection:
         compression = CompressionConfig.from_byte(comp_byte)
         payload_size = num_prb * compression.prb_payload_bytes()
         if len(data) - offset < payload_size:
-            raise ValueError("truncated U-plane payload")
+            raise TruncatedFrame("truncated U-plane payload")
         # Zero-copy: the section references the original frame buffer.
         section = cls(
             section_id=(head >> 12) & 0xFFF,
@@ -264,7 +265,7 @@ class UPlaneMessage:
         cls, data: PayloadBytes, carrier_num_prb: Optional[int] = None
     ) -> "UPlaneMessage":
         if len(data) < _HDR.size:
-            raise ValueError("truncated U-plane header")
+            raise TruncatedFrame("truncated U-plane header")
         first, frame, timing = _HDR.unpack_from(data)
         message = cls(
             direction=Direction((first >> 7) & 0x1),

@@ -57,6 +57,11 @@ class EthernetSwitch:
         """
         return self.fabric.impair(port, injector)
 
+    def port(self, name: str):
+        """The underlying fabric port — the attachment point for taps
+        (e.g. :func:`repro.conformance.tap.tap_switch_port`)."""
+        return self.fabric.port(name)
+
     def port_utilization(self, port: str, interval_ns: float) -> float:
         """Egress utilization of one port over an interval."""
         if interval_ns <= 0:

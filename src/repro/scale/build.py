@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs as obs_module
+from repro.conformance import WireValidator
 from repro.faults import ImpairedLink, injector_from_spec
 from repro.fronthaul.cplane import Direction
 from repro.obs import DeadlineAccountant, Observability
@@ -53,6 +54,9 @@ class BuiltGroup:
     network: FronthaulNetwork
     obs: Observability
     accountant: Optional[DeadlineAccountant] = None
+    #: Wire-level conformance validator observing RU/DU ingress (set
+    #: when the spec's ``obs.conformance`` is on).
+    validator: Optional[WireValidator] = None
     #: Attached by the runner: the group's slot-driving event engine.
     engine: Optional[object] = None
 
@@ -188,6 +192,22 @@ def build_group(
             numerology=built_cells[0].config.numerology,
             obs=obs if spec.obs.enabled else None,
         )
+    validator = None
+    if spec.obs.conformance:
+        # Mixed-profile groups skip the profile-specific checks (a single
+        # udCompHdr expectation would false-positive on the other cells).
+        profiles = {built.profile.name for built in built_cells}
+        validator = WireValidator(
+            name=group_name,
+            profile=built_cells[0].profile if len(profiles) == 1 else None,
+            carrier_num_prb=max(
+                radio.config.num_prb
+                for built in built_cells
+                for radio, _ in built.rus.values()
+            ),
+            numerology=built_cells[0].config.numerology,
+            obs=obs,
+        )
     network = FronthaulNetwork(
         middleboxes=middleboxes,
         deadline_accountant=accountant,
@@ -195,6 +215,7 @@ def build_group(
         deadline_flush=any(cell.deadline_flush for cell in members),
         obs=obs,
         name=group_name,
+        validator=validator,
     )
     for built in built_cells:
         network.add_du(built.du)
@@ -206,6 +227,7 @@ def build_group(
         network=network,
         obs=obs,
         accountant=accountant,
+        validator=validator,
     )
 
 

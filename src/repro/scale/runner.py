@@ -35,6 +35,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.conformance import ConformanceReport
 from repro.obs.exposition import render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.scale.build import BuiltGroup, build_groups
@@ -56,6 +57,10 @@ class GroupResult:
     middlebox_stats: List[Dict[str, Any]]
     timeline: List[TimelineEntry]
     metrics: Dict[str, Dict[str, Any]]
+    #: Serialized ConformanceReport of the group's validator (empty when
+    #: the spec did not request conformance).  Ships as plain data over
+    #: the worker pipe like everything else here.
+    conformance: Dict[str, Any] = field(default_factory=dict)
     digest: str = ""
 
     def __post_init__(self) -> None:
@@ -134,6 +139,19 @@ class ScenarioResult:
         """The merged metrics as Prometheus text."""
         return render_prometheus(self.metrics())
 
+    def conformance_report(self) -> ConformanceReport:
+        """Every shard's validator report merged into one.
+
+        Empty (zero frames, zero violations) when the spec did not set
+        ``obs.conformance``.
+        """
+        merged = ConformanceReport()
+        for name in sorted(self.groups):
+            data = self.groups[name].conformance
+            if data:
+                merged.merge(ConformanceReport.from_dict(data))
+        return merged
+
 
 # -- single-group execution (both modes call this) ---------------------------
 
@@ -187,6 +205,9 @@ def _summarize_group(group: BuiltGroup, slots: int, events: int) -> GroupResult:
         middlebox_stats=middlebox_stats,
         timeline=list(group.engine.timeline) if group.engine else [],
         metrics=group.obs.registry.snapshot() if group.obs.enabled else {},
+        conformance=(
+            group.validator.report.to_dict() if group.validator else {}
+        ),
     )
 
 

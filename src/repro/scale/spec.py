@@ -184,6 +184,9 @@ class ObsSpec:
     sample_every: int = 1
     #: Attach a per-group DeadlineAccountant (30 us slot budget).
     deadline_accounting: bool = False
+    #: Attach a per-group wire-level conformance validator at RU/DU
+    #: ingress; per-shard reports merge in the ScenarioResult.
+    conformance: bool = False
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ObsSpec":

@@ -145,6 +145,7 @@ class FronthaulNetwork:
         breaker_probation: int = 16,
         obs=None,
         name: str = "network",
+        validator=None,
     ):
         self.name = name
         self.middleboxes = list(middleboxes)
@@ -163,6 +164,11 @@ class FronthaulNetwork:
         #: exposing ``flush_deadline`` (the DAS) merge-or-abandon symbols
         #: still waiting once their slot has passed.
         self.deadline_flush = deadline_flush
+        #: Optional conformance validator
+        #: (:class:`repro.conformance.WireValidator`): observes every
+        #: post-chain burst at RU ingress (downlink) and DU ingress
+        #: (uplink) — a pure observer, never drops or mutates frames.
+        self.validator = validator
         #: The middleboxes run inside a fault-isolating chain: a raising
         #: stage is a counted drop guarded by a circuit breaker, never a
         #: crashed slot.
@@ -243,6 +249,8 @@ class FronthaulNetwork:
         downlink.sort(key=lambda packet: packet.is_uplane)
         downlink = self._carry(downlink, report)
         for packet in self._through_chain(downlink, uplink=False):
+            if self.validator is not None:
+                self.validator.observe(packet, tap=f"{self.name}:ru-ingress")
             entry = self._rus.get(packet.eth.dst.to_int())
             if entry is None:
                 report.undeliverable += 1
@@ -284,6 +292,8 @@ class FronthaulNetwork:
     def _deliver_uplink(
         self, packet: FronthaulPacket, report: SlotReport
     ) -> None:
+        if self.validator is not None:
+            self.validator.observe(packet, tap=f"{self.name}:du-ingress")
         du = self._dus.get(packet.eth.dst.to_int())
         if du is None:
             report.undeliverable += 1

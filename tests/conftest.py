@@ -1,10 +1,19 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.fronthaul.ethernet import MacAddress
 from repro.ran.cell import CellConfig
+
+# CI runs the property suites derandomized so a red build is always
+# reproducible locally; select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", derandomize=True, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture

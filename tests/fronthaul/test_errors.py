@@ -1,0 +1,140 @@
+"""Typed malformed-frame errors and the truncation silent-accept fix.
+
+Regression suite for the bug where a U-plane frame truncated exactly at a
+section boundary parsed "successfully" as a shorter message and delivered
+garbage IQ: :func:`parse_packet` is now strict about the eCPRI
+``payloadSize`` accounting for every byte on the wire, so *every* cut of
+a frame raises a typed :class:`MalformedFrame` subclass.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.fronthaul.cplane import CPlaneMessage
+from repro.fronthaul.errors import (
+    EcpriLengthError,
+    MalformedFrame,
+    TrailingBytes,
+    TruncatedFrame,
+)
+from repro.fronthaul.packet import parse_packet
+from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
+from tests.conformance.builders import (
+    SRS_COMPRESSION,
+    cplane_packet,
+    uplane_packet,
+)
+
+#: Ethernet (14) + eCPRI common header (4) + eAxC/seq words (4): the
+#: first byte where the strict payloadSize check, not a header parser,
+#: owns the failure.
+_HEADERS_END = 22
+
+
+class TestHierarchy:
+    def test_every_error_is_a_malformed_frame(self):
+        for error in (TruncatedFrame, EcpriLengthError, TrailingBytes):
+            assert issubclass(error, MalformedFrame)
+
+    def test_malformed_frame_is_a_value_error(self):
+        # Existing containment points (switch delivery guard, slot loop,
+        # DU/RU ingress) catch ValueError; the typed hierarchy must never
+        # escape them.
+        assert issubclass(MalformedFrame, ValueError)
+        with pytest.raises(ValueError):
+            raise TruncatedFrame("contained")
+
+
+class TestStrictParse:
+    def test_every_cut_of_a_uplane_frame_raises(self):
+        wire = uplane_packet(0, 8).pack()
+        for cut in range(1, len(wire)):
+            with pytest.raises(MalformedFrame):
+                parse_packet(wire[:cut], carrier_num_prb=106)
+
+    def test_cut_class_matches_where_the_knife_landed(self):
+        wire = uplane_packet(0, 8).pack()
+        for cut in range(1, len(wire)):
+            with pytest.raises(
+                TruncatedFrame if cut < _HEADERS_END else EcpriLengthError
+            ):
+                parse_packet(wire[:cut], carrier_num_prb=106)
+
+    def test_section_boundary_cut_no_longer_silently_accepted(self):
+        # The original bug: cutting a two-section frame exactly at the
+        # first section's end leaves a byte-for-byte valid one-section
+        # body, distinguishable only through payloadSize.
+        def section(section_id, start_prb):
+            return UPlaneSection.from_samples(
+                section_id=section_id,
+                start_prb=start_prb,
+                samples=np.full((4, 24), 9, dtype=np.int16),
+                compression=SRS_COMPRESSION,
+            )
+
+        both = uplane_packet(0, 4)
+        both.message.sections.append(section(2, 10))
+        one_section_len = len(uplane_packet(0, 4).pack())
+        cut = both.pack()[:one_section_len]
+        with pytest.raises(EcpriLengthError):
+            parse_packet(cut, carrier_num_prb=106)
+
+    def test_inflated_size_field_raises(self):
+        wire = bytearray(cplane_packet(0, 10).pack())
+        wire[16:18] = (int.from_bytes(wire[16:18], "big") + 8).to_bytes(
+            2, "big"
+        )
+        with pytest.raises(EcpriLengthError):
+            parse_packet(bytes(wire), carrier_num_prb=106)
+
+    def test_trailing_garbage_raises(self):
+        wire = uplane_packet(0, 4).pack() + b"\x00\x00\x00"
+        with pytest.raises(EcpriLengthError):
+            parse_packet(wire, carrier_num_prb=106)
+
+    def test_wrong_ethertype_raises(self):
+        packet = cplane_packet(0, 10)
+        packet = dataclasses.replace(
+            packet, eth=dataclasses.replace(packet.eth, ethertype=0x0800)
+        )
+        with pytest.raises(MalformedFrame):
+            parse_packet(packet.pack(), carrier_num_prb=106)
+
+    def test_cplane_trailing_bytes_typed(self):
+        body = cplane_packet(0, 10).message.pack() + b"\xff"
+        with pytest.raises(TrailingBytes):
+            CPlaneMessage.unpack(body)
+
+    def test_uplane_truncated_payload_typed(self):
+        body = uplane_packet(0, 4).message.pack()
+        with pytest.raises(TruncatedFrame):
+            UPlaneMessage.unpack(body[:-3], carrier_num_prb=106)
+
+
+class TestInjectorTruncationAbsorbed:
+    """With the strict parser, a truncated U-plane frame can never reach
+    a host: every cut dies at the injection point like a failed CRC."""
+
+    def test_truncation_never_delivers(self):
+        injector = FaultInjector(
+            FaultConfig(truncate_rate=1.0), seed=4, carrier_num_prb=106
+        )
+        n = 60
+        packets = [uplane_packet(0, 4, seq=i % 256) for i in range(n)]
+        survivors = injector.apply(packets)
+        assert survivors == []
+        assert injector.stats.truncated_delivered == 0
+        assert injector.stats.truncate_dropped == n
+
+    def test_cplane_truncation_never_delivers(self):
+        injector = FaultInjector(
+            FaultConfig(truncate_rate=1.0), seed=7, carrier_num_prb=106
+        )
+        survivors = injector.apply(
+            [cplane_packet(0, 10, seq=i) for i in range(40)]
+        )
+        assert survivors == []
+        assert injector.stats.truncate_dropped == 40
