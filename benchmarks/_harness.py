@@ -30,18 +30,23 @@ def report(name: str, text: str) -> None:
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def record_bench(name: str, payload: Dict[str, Any]) -> None:
-    """Merge one benchmark's numbers into the repo-root BENCH json.
+def record_bench(
+    name: str, payload: Dict[str, Any], path: pathlib.Path = None
+) -> None:
+    """Merge one benchmark's numbers into a repo-root BENCH json.
 
     The file accumulates entries across the whole benchmark run (each
     entry keyed by benchmark name), so a single ``pytest benchmarks``
     invocation produces one complete, machine-readable perf snapshot.
+    ``path`` overrides the default trajectory file for benchmarks that
+    belong to a later PR's snapshot (e.g. ``BENCH_6.json``).
     """
+    target = path or BENCH_JSON
     data: Dict[str, Any] = {}
-    if BENCH_JSON.exists():
+    if target.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(target.read_text())
         except json.JSONDecodeError:
             data = {}
     data[name] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -381,6 +381,19 @@ class MetricsRegistry:
                 else:
                     _merge_histogram_sample(child, sample)
 
+    def snapshot_delta(
+        self, previous: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Snapshot, expressed as a delta against an earlier snapshot.
+
+        The scale-out pool ships these per barrier epoch: workers keep
+        their registries hot and send only what changed, and the
+        coordinator folds each delta with :meth:`merge_snapshot` — so a
+        live registry fed epoch deltas converges to exactly the series a
+        final full snapshot would carry.  See :func:`diff_snapshot`.
+        """
+        return diff_snapshot(self.snapshot(), previous)
+
     def unregister(self, name: str) -> None:
         with self._lock:
             self._families.pop(name, None)
@@ -391,3 +404,53 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._families)
+
+
+def _diff_histogram(sample: Dict[str, Any], prev: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "count": sample["count"] - prev["count"],
+        "sum": sample["sum"] - prev["sum"],
+        "buckets": {
+            key: cumulative - prev["buckets"].get(key, 0)
+            for key, cumulative in sample["buckets"].items()
+        },
+    }
+
+
+def diff_snapshot(
+    current: Dict[str, Dict[str, Any]],
+    previous: Dict[str, Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The per-epoch delta between two :meth:`MetricsRegistry.snapshot`\\ s.
+
+    Counters and histograms subtract (their cumulative buckets stay
+    cumulative, so per-bucket differences are again valid cumulative
+    counts); gauges carry ``current - previous`` so that additively
+    folding every delta reproduces the latest gauge value.  Families and
+    series absent from ``previous`` pass through whole.  The result is
+    snapshot-shaped: feed it straight to
+    :meth:`MetricsRegistry.merge_snapshot`.
+    """
+    delta: Dict[str, Dict[str, Any]] = {}
+    for name, family in current.items():
+        prev_family = previous.get(name)
+        if prev_family is None:
+            delta[name] = family
+            continue
+        series: Dict[str, Any] = {}
+        prev_series = prev_family["series"]
+        for key, sample in family["series"].items():
+            prev_sample = prev_series.get(key)
+            if prev_sample is None:
+                series[key] = sample
+            elif family["type"] == "histogram":
+                series[key] = _diff_histogram(sample, prev_sample)
+            else:
+                series[key] = sample - prev_sample
+        delta[name] = {
+            "type": family["type"],
+            "help": family["help"],
+            "labels": family["labels"],
+            "series": series,
+        }
+    return delta

@@ -20,7 +20,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.scale.arena import (
+    ArenaFullError,
+    RingBuffer,
+    SharedArena,
+    read_payload,
+    write_payload,
+)
 from repro.scale.build import BuiltCell, BuiltGroup, build_groups
+from repro.scale.pool import DEFAULT_ARENA_BYTES, WorkerPool
 from repro.scale.registry import (
     STAGE_REGISTRY,
     StageBuildContext,
@@ -111,28 +119,35 @@ def run(scenario, workers: int = 1) -> ScenarioResult:
 
 
 __all__ = [
+    "DEFAULT_ARENA_BYTES",
     "SPEC_VERSION",
     "STAGE_REGISTRY",
+    "ArenaFullError",
     "BuiltCell",
     "BuiltGroup",
     "CellSpec",
     "FlowSpec",
     "GroupResult",
     "ObsSpec",
+    "RingBuffer",
     "RuSpec",
     "Scenario",
     "ScenarioResult",
     "ScenarioSpec",
+    "SharedArena",
     "ShardPlan",
     "StageBuildContext",
     "StageSpec",
     "UeSpec",
+    "WorkerPool",
     "build_groups",
     "build_stage",
     "plan_shards",
+    "read_payload",
     "register_stage",
     "run",
     "run_groups_inline",
     "run_scenario",
     "stage_names",
+    "write_payload",
 ]

@@ -1,0 +1,424 @@
+"""The persistent shared-memory worker pool behind sharded execution.
+
+PR 4's runner forked a fresh set of workers for every run, synchronized
+them every ``batch_slots`` batch, and shipped all results back as one
+pipe pickle — which BENCH_4.json showed *losing* to single-process.
+This pool keeps the same sharding contract (byte-identical digests at
+any worker count) while removing all three overheads:
+
+1. **Workers outlive a run.**  ``start()`` forks one worker per shard of
+   the :func:`~repro.scale.shard.plan_shards` plan; each builds its
+   coupling groups once and then serves commands.  A later ``run()``
+   rebuilds worker-side state with a ``reset`` command instead of
+   re-forking, so a service, a benchmark sweep, or a parameter study
+   amortizes process creation and module state across runs.
+2. **Barrier epochs, not batch slots.**  The coordinator barriers every
+   :meth:`~repro.scale.spec.ScenarioSpec.effective_epoch_slots` slots
+   (default: the whole horizon — the coarsest epoch) and each ack
+   carries only ``(slots, events, metrics-delta descriptor)``.  Metric
+   deltas accumulate worker-side between barriers and fold into the
+   coordinator's :attr:`WorkerPool.live_metrics` registry at each epoch
+   boundary, so long runs expose progressing telemetry without per-slot
+   chatter.
+3. **Shared-memory transport.**  Bulk payloads (epoch metric deltas and
+   the collected :class:`~repro.scale.runner.GroupResult` lists) travel
+   through a preallocated :class:`~repro.scale.arena.SharedArena` ring
+   per worker; only tiny ``(offset, nbytes, watermark)`` tuples cross
+   the control pipe.  A payload that outgrows its ring falls back to
+   the pipe for that payload — slower, never wrong.
+
+Teardown is unconditional: normal exit, a coordinator exception mid-run
+and a crashed worker all funnel through :meth:`WorkerPool.close`, which
+drains workers (``exit`` then join, terminate, kill), closes the control
+pipes and unlinks the shared-memory segment.  A ``weakref.finalize``
+backstop covers even a dropped, never-closed pool.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, diff_snapshot
+from repro.scale.arena import (
+    ArenaFullError,
+    SharedArena,
+    payload_nbytes,
+    payload_watermark,
+    read_payload,
+    unlink_segment,
+    write_payload,
+)
+from repro.scale.build import BuiltGroup, build_groups
+from repro.scale.shard import plan_shards
+from repro.scale.spec import ScenarioSpec
+
+#: Default ring size per worker; collected results that outgrow it fall
+#: back to the control pipe, so this trades speed, not correctness.
+DEFAULT_ARENA_BYTES = 4 * 1024 * 1024
+
+#: Sentinel marking a payload that had to travel over the control pipe
+#: because its ring was full.
+_INLINE = "inline"
+
+
+def _worker_loop(
+    conn,
+    spec_dict: Dict[str, Any],
+    names: List[str],
+    arena_name: str,
+    region: int,
+    regions: int,
+    bytes_per_worker: int,
+) -> None:
+    """Serve pool commands until ``exit``; control pipe carries tuples only.
+
+    Protocol (coordinator -> worker; every command but ``exit`` ends
+    with the coordinator's ack watermark, releasing ring space):
+
+    - ``("epoch", n_slots, ack)`` advances every local group ``n_slots``
+      and replies ``("ok", n_slots, events, metrics_descriptor|None)``.
+    - ``("collect", ack)`` summarizes the groups and replies
+      ``("result", descriptor)`` — or ``("result", (_INLINE, results))``
+      when the payload cannot fit the ring.
+    - ``("reset", ack)`` rebuilds the groups from the spec (fresh state,
+      same bytes as a new fork) and replies ``("ok", 0, 0, None)``.
+    - ``("exit",)`` leaves the loop; the worker closes its mapping.
+
+    A build failure is remembered and answered to every command instead
+    of closing the pipe, so the coordinator surfaces the traceback
+    rather than a BrokenPipeError.
+    """
+    from repro.scale.runner import _attach_engines, _step_groups, _summarize_group
+
+    failure: Optional[str] = None
+    groups: List[BuiltGroup] = []
+    spec: Optional[ScenarioSpec] = None
+    arena: Optional[SharedArena] = None
+    ring = None
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        groups = build_groups(spec, names)
+        _attach_engines(groups)
+        arena = SharedArena.attach(arena_name, regions, bytes_per_worker)
+        ring = arena.ring(region)
+    except Exception:
+        failure = traceback.format_exc()
+
+    def ship(obj) -> Any:
+        """Frame a bulk payload via the ring, inline over the pipe if full."""
+        if ring is not None:
+            try:
+                return write_payload(ring, obj)
+            except ArenaFullError:
+                pass
+        return (_INLINE, obj)
+
+    last_metrics: Dict[str, Dict[str, Any]] = {}
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError):  # coordinator vanished: stop serving
+            break
+        op = command[0]
+        if op == "exit":
+            break
+        try:
+            if failure is not None:
+                conn.send(("error", failure))
+                continue
+            if ring is not None:
+                ring.release_until(command[-1])
+            if op == "epoch":
+                events = _step_groups(groups, command[1])
+                descriptor = None
+                if spec.obs.enabled:
+                    deltas = []
+                    for group in groups:
+                        snapshot = group.obs.registry.snapshot()
+                        deltas.append(
+                            (
+                                group.name,
+                                diff_snapshot(
+                                    snapshot,
+                                    last_metrics.get(group.name, {}),
+                                ),
+                            )
+                        )
+                        last_metrics[group.name] = snapshot
+                    descriptor = ship(deltas)
+                conn.send(("ok", command[1], events, descriptor))
+            elif op == "collect":
+                results = [_summarize_group(group) for group in groups]
+                conn.send(("result", ship(results)))
+            elif op == "reset":
+                groups = build_groups(spec, names)
+                _attach_engines(groups)
+                last_metrics = {}
+                if ring is not None:
+                    ring.reset()
+                conn.send(("ok", 0, 0, None))
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+    if arena is not None:
+        arena.close()
+    conn.close()
+
+
+def _finalize_pool(arena: SharedArena, processes: List) -> None:
+    """Last-resort cleanup for a pool dropped without ``close()``."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+    name = arena.name
+    arena.close()
+    arena.unlink()
+    unlink_segment(name)
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class WorkerPool:
+    """Persistent sharded executor for one :class:`ScenarioSpec`.
+
+    Use as a context manager (or call :meth:`close` yourself)::
+
+        with WorkerPool(spec, workers=8) as pool:
+            first = pool.run()     # forks + builds once
+            second = pool.run()    # reuses live workers (reset + rerun)
+            assert first.digest == second.digest
+
+    ``run()`` returns the same :class:`~repro.scale.runner.
+    ScenarioResult` the single-process path produces, with
+    ``result.transport`` describing how many bytes moved through shared
+    memory versus pipe fallbacks.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        workers: int,
+        arena_bytes_per_worker: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.plan = plan_shards(spec, workers)
+        self.workers = self.plan.workers
+        self.arena_bytes = (
+            arena_bytes_per_worker
+            or spec.arena_bytes_per_worker
+            or DEFAULT_ARENA_BYTES
+        )
+        #: Epoch metric deltas folded live at every barrier (obs runs).
+        self.live_metrics = MetricsRegistry()
+        self._arena: Optional[SharedArena] = None
+        self._connections: List = []
+        self._processes: List = []
+        self._rings: List = []
+        self._acked: List[int] = []
+        self._finalizer = None
+        self._started = False
+        self._closed = False
+        self._dirty = False
+        self._transport: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def arena_name(self) -> Optional[str]:
+        """The shared segment's name (``None`` before start/after close)."""
+        return self._arena.name if self._arena is not None else None
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers and let them build their groups (idempotent)."""
+        if self._started:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            return self
+        self._started = True
+        context = _mp_context()
+        self._arena = SharedArena.create(self.workers, self.arena_bytes)
+        self._finalizer = weakref.finalize(
+            self, _finalize_pool, self._arena, self._processes
+        )
+        spec_dict = self.spec.to_dict()
+        try:
+            for index, names in enumerate(self.plan.shards):
+                parent, child = context.Pipe()
+                process = context.Process(
+                    target=_worker_loop,
+                    args=(
+                        child,
+                        spec_dict,
+                        names,
+                        self._arena.name,
+                        index,
+                        self.workers,
+                        self.arena_bytes,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child.close()
+                self._connections.append(parent)
+                self._processes.append(process)
+                self._rings.append(self._arena.ring(index))
+                self._acked.append(0)
+        except Exception:
+            self.close()
+            raise
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear everything down; safe on every path, safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("exit",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                process.kill()
+                process.join(timeout=5)
+        if self._arena is not None:
+            self._arena.close()
+            self._arena.unlink()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+
+    # -- protocol helpers ----------------------------------------------------
+
+    def _recv(self, index: int):
+        try:
+            reply = self._connections[index].recv()
+        except (EOFError, OSError) as exc:
+            code = self._processes[index].exitcode
+            raise RuntimeError(
+                f"scale worker {index} died mid-command "
+                f"(exitcode {code}); shard groups: "
+                f"{self.plan.shards[index]}"
+            ) from exc
+        if reply[0] == "error":
+            raise RuntimeError(f"scale worker failed:\n{reply[1]}")
+        return reply
+
+    def _read_bulk(self, index: int, descriptor) -> Any:
+        """Decode one shipped payload: arena descriptor or inline tuple."""
+        if (
+            isinstance(descriptor, tuple)
+            and len(descriptor) == 2
+            and descriptor[0] == _INLINE
+        ):
+            self._transport["pipe_fallback_payloads"] += 1
+            return descriptor[1]
+        payload = read_payload(self._rings[index], descriptor)
+        self._acked[index] = payload_watermark(descriptor)
+        self._transport["arena_payloads"] += 1
+        self._transport["arena_bytes"] += payload_nbytes(descriptor)
+        return payload
+
+    def _reset(self) -> None:
+        for index, conn in enumerate(self._connections):
+            conn.send(("reset", self._acked[index]))
+        for index in range(len(self._connections)):
+            self._recv(index)
+            self._acked[index] = 0
+        self.live_metrics = MetricsRegistry()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self):
+        """Execute the spec's horizon once; see module docstring.
+
+        Any error — a worker crash, a protocol violation, a coordinator
+        exception between barriers — closes the pool (workers joined,
+        segment unlinked) before propagating.
+        """
+        from repro.scale.runner import ScenarioResult
+
+        self.start()
+        try:
+            started = time.perf_counter()
+            if self._dirty:
+                self._reset()
+            self._dirty = True
+            self._transport = {
+                "arena_payloads": 0,
+                "arena_bytes": 0,
+                "pipe_fallback_payloads": 0,
+                "epochs": 0,
+            }
+            epoch = self.spec.effective_epoch_slots()
+            done = 0
+            while done < self.spec.slots:
+                step = min(epoch, self.spec.slots - done)
+                for index, conn in enumerate(self._connections):
+                    conn.send(("epoch", step, self._acked[index]))
+                # Barrier: every shard finishes the epoch before any
+                # proceeds; acks are tiny (slots, events, delta descriptor).
+                for index in range(len(self._connections)):
+                    reply = self._recv(index)
+                    if reply[0] != "ok":
+                        raise RuntimeError(
+                            f"scale worker protocol error: {reply!r}"
+                        )
+                    if reply[3] is not None:
+                        for name, delta in self._read_bulk(index, reply[3]):
+                            self.live_metrics.merge_snapshot(delta)
+                done += step
+                self._transport["epochs"] += 1
+            groups = {}
+            for index, conn in enumerate(self._connections):
+                conn.send(("collect", self._acked[index]))
+            for index in range(len(self._connections)):
+                reply = self._recv(index)
+                if reply[0] != "result":
+                    raise RuntimeError(
+                        f"scale worker protocol error: {reply!r}"
+                    )
+                for result in self._read_bulk(index, reply[1]):
+                    groups[result.name] = result
+            wall = time.perf_counter() - started
+        except Exception:
+            self.close()
+            raise
+        return ScenarioResult(
+            name=self.spec.name,
+            workers=self.plan.workers,
+            wall_seconds=wall,
+            groups=groups,
+            plan=self.plan,
+            transport=dict(self._transport, epoch_slots=epoch),
+        )
+
+
+__all__ = ["DEFAULT_ARENA_BYTES", "WorkerPool"]

@@ -8,15 +8,17 @@ worker ran which group — and summarized into a :class:`GroupResult` of
 plain data: slot reports, DU/RU counters, middlebox stats, uplink IQ
 hashes, and a canonical-JSON sha256 digest over all of it.
 
-The sharded path forks persistent workers (one per shard of the
-:func:`~repro.scale.shard.plan_shards` plan), sends each its group
-names, and steps them in ``batch_slots`` batches with a coordinator
-barrier between batches; with no ``batch_slots`` every worker free-runs
-the whole horizon — sound because coupling groups are atomic, so no
-packet ever crosses a shard boundary.  Workers ship back GroupResults
-(plain data) which merge into one :class:`ScenarioResult`: digests
-combine order-independently, metrics snapshots fold additively via
-:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, timelines
+The sharded path runs on the persistent shared-memory worker pool
+(:class:`~repro.scale.pool.WorkerPool`): one long-lived worker per shard
+of the :func:`~repro.scale.shard.plan_shards` plan, barrier *epochs* of
+:meth:`~repro.scale.spec.ScenarioSpec.effective_epoch_slots` slots
+instead of per-batch-slot round-trips, and bulk results moving through a
+preallocated :class:`~repro.scale.arena.SharedArena` ring with only tiny
+descriptors on the control pipe — sound because coupling groups are
+atomic, so no packet ever crosses a shard boundary.  Workers ship back
+GroupResults (plain data) which merge into one :class:`ScenarioResult`:
+digests combine order-independently, metrics snapshots fold additively
+via :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, timelines
 merge deterministically via :func:`~repro.sim.engine.merge_timelines`.
 
 Wall-clock-dependent series (``middlebox_wall_ns`` etc.) stay out of the
@@ -29,9 +31,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import time
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -39,7 +39,7 @@ from repro.conformance import ConformanceReport
 from repro.obs.exposition import render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.scale.build import BuiltGroup, build_groups
-from repro.scale.shard import ShardPlan, plan_shards
+from repro.scale.shard import ShardPlan
 from repro.scale.spec import ScenarioSpec
 from repro.sim.engine import EventEngine, TimelineEntry, merge_timelines
 
@@ -91,6 +91,10 @@ class ScenarioResult:
     wall_seconds: float
     groups: Dict[str, GroupResult] = field(default_factory=dict)
     plan: Optional[ShardPlan] = None
+    #: Sharded-run IPC accounting from the worker pool: epochs run,
+    #: bytes moved through the shared-memory arena, pipe fallbacks.
+    #: Empty for single-process runs; never part of the digest.
+    transport: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cells(self) -> int:
@@ -174,7 +178,13 @@ def _uplink_sha256(du) -> str:
     return digest.hexdigest()
 
 
-def _summarize_group(group: BuiltGroup, slots: int, events: int) -> GroupResult:
+def _summarize_group(group: BuiltGroup) -> GroupResult:
+    """Freeze one group into plain data.
+
+    ``slots``/``events`` come from the group's own execution accounting
+    (:attr:`~repro.scale.build.BuiltGroup.slots_run`), not from the spec
+    or the report count, so a result always states what actually ran.
+    """
     cell_counters: Dict[str, Dict[str, Any]] = {}
     for built in group.cells:
         cell_counters[built.spec.name] = {
@@ -196,8 +206,8 @@ def _summarize_group(group: BuiltGroup, slots: int, events: int) -> GroupResult:
     return GroupResult(
         name=group.name,
         cells=len(group.cells),
-        slots=slots,
-        events=events,
+        slots=group.slots_run,
+        events=group.events_run,
         reports=[
             dataclasses.asdict(report) for report in group.network.reports
         ],
@@ -231,7 +241,8 @@ def _step_groups(groups: List[BuiltGroup], n_slots: int) -> int:
         engine = group.engine
         numerology = group.cells[0].config.numerology
         slot_ns = numerology.slot_duration_ns
-        first = len(group.network.reports)
+        first = group.slots_run
+        group_events = 0
         for offset in range(n_slots):
             slot_index = first + offset
 
@@ -243,7 +254,10 @@ def _step_groups(groups: List[BuiltGroup], n_slots: int) -> int:
                 _run_slot,
                 label=f"{group.name}/slot{slot_index}",
             )
-            events += engine.run()
+            group_events += engine.run()
+        group.slots_run += n_slots
+        group.events_run += group_events
+        events += group_events
     return events
 
 
@@ -253,76 +267,16 @@ def run_groups_inline(
     """Build and run a subset of groups to completion in this process."""
     groups = build_groups(spec, names)
     _attach_engines(groups)
-    batch = spec.batch_slots or spec.slots
+    epoch = spec.effective_epoch_slots()
     done = 0
-    events = 0
     while done < spec.slots:
-        step = min(batch, spec.slots - done)
-        events += _step_groups(groups, step)
+        step = min(epoch, spec.slots - done)
+        _step_groups(groups, step)
         done += step
-    return [_summarize_group(group, spec.slots, events) for group in groups]
+    return [_summarize_group(group) for group in groups]
 
 
 # -- sharded execution --------------------------------------------------------
-
-
-def _worker_main(conn, spec_dict: Dict[str, Any], names: List[str]) -> None:
-    """Worker loop: build from the spec dict, step on command, ship results.
-
-    Protocol (coordinator -> worker): ``("run", n_slots)`` advances every
-    local group and acks ``("ok", events)`` — the coordinator waiting for
-    every ack IS the batch barrier; ``("collect",)`` returns
-    ``("result", [GroupResult...])``; ``("exit",)`` ends the worker.  Any
-    exception ships back as ``("error", traceback)``.
-    """
-    failure = None
-    groups: List[BuiltGroup] = []
-    try:
-        spec = ScenarioSpec.from_dict(spec_dict)
-        groups = build_groups(spec, names)
-        _attach_engines(groups)
-    except Exception:
-        # Stay alive and answer every command with the traceback: closing
-        # the pipe here would hand the coordinator a BrokenPipeError
-        # instead of the actual build failure.
-        failure = traceback.format_exc()
-    while True:
-        command = conn.recv()
-        try:
-            if command[0] == "exit":
-                break
-            if failure is not None:
-                conn.send(("error", failure))
-            elif command[0] == "run":
-                events = _step_groups(groups, command[1])
-                conn.send(("ok", events))
-            elif command[0] == "collect":
-                results = [
-                    _summarize_group(group, len(group.network.reports), 0)
-                    for group in groups
-                ]
-                conn.send(("result", results))
-            else:
-                conn.send(("error", f"unknown command {command!r}"))
-        except Exception:
-            conn.send(("error", traceback.format_exc()))
-    conn.close()
-
-
-def _mp_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        return multiprocessing.get_context("spawn")
-
-
-def _expect(conn, kind: str):
-    reply = conn.recv()
-    if reply[0] == "error":
-        raise RuntimeError(f"scale worker failed:\n{reply[1]}")
-    if reply[0] != kind:
-        raise RuntimeError(f"scale worker protocol error: {reply!r}")
-    return reply[1]
 
 
 def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
@@ -330,6 +284,13 @@ def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
 
     Identical results either way: same builds, same seeds, same per-group
     engines.  Only wall time differs.
+
+    The sharded path spins up a one-shot persistent pool
+    (:class:`~repro.scale.pool.WorkerPool`); ``wall_seconds`` covers the
+    whole thing — fork, parallel worker-side builds, epochs, collect —
+    so single-shot numbers stay comparable with earlier benchmarks.
+    Keep a pool of your own when running the same spec repeatedly; that
+    is what it is for.
     """
     if workers <= 1:
         started = time.perf_counter()
@@ -342,55 +303,10 @@ def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
             groups={result.name: result for result in results},
         )
 
-    plan = plan_shards(spec, workers)
-    context = _mp_context()
-    spec_dict = spec.to_dict()
-    connections = []
-    processes = []
+    from repro.scale.pool import WorkerPool
+
     started = time.perf_counter()
-    try:
-        for names in plan.shards:
-            parent, child = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child, spec_dict, names),
-                daemon=True,
-            )
-            process.start()
-            child.close()
-            connections.append(parent)
-            processes.append(process)
-        batch = spec.batch_slots or spec.slots
-        done = 0
-        while done < spec.slots:
-            step = min(batch, spec.slots - done)
-            for conn in connections:
-                conn.send(("run", step))
-            # Barrier: every shard finishes the batch before any proceeds.
-            for conn in connections:
-                _expect(conn, "ok")
-            done += step
-        groups: Dict[str, GroupResult] = {}
-        for conn in connections:
-            conn.send(("collect",))
-        for conn in connections:
-            for result in _expect(conn, "result"):
-                groups[result.name] = result
-        wall = time.perf_counter() - started
-        for conn in connections:
-            conn.send(("exit",))
-    finally:
-        for conn in connections:
-            conn.close()
-        for process in processes:
-            process.join(timeout=30)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=5)
-    return ScenarioResult(
-        name=spec.name,
-        workers=plan.workers,
-        wall_seconds=wall,
-        groups=groups,
-        plan=plan,
-    )
+    with WorkerPool(spec, workers) as pool:
+        result = pool.run()
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -207,6 +207,18 @@ class ScenarioSpec:
     #: free-run the whole horizon — sound because coupled cells are
     #: always co-scheduled, so there are no cross-shard touchpoints.
     batch_slots: Optional[int] = None
+    #: Barrier-epoch length for the persistent worker pool: workers
+    #: free-run ``epoch_slots`` slots between coordinator barriers,
+    #: shipping only tiny per-epoch deltas at each boundary.  Takes
+    #: precedence over ``batch_slots``; ``None`` falls back to
+    #: ``batch_slots``, and with both unset shards free-run the whole
+    #: horizon (the coarsest — and fastest — epoch).
+    epoch_slots: Optional[int] = None
+    #: Shared-memory ring bytes preallocated per pool worker for epoch
+    #: deltas and collected results.  ``None`` uses the pool default
+    #: (4 MiB); payloads that outgrow the ring fall back to the control
+    #: pipe, so undersizing costs speed, never correctness.
+    arena_bytes_per_worker: Optional[int] = None
     obs: ObsSpec = field(default_factory=ObsSpec)
     version: int = SPEC_VERSION
 
@@ -217,6 +229,13 @@ class ScenarioSpec:
             raise ValueError("slots must be >= 1")
         if self.batch_slots is not None and self.batch_slots < 1:
             raise ValueError("batch_slots must be >= 1 when set")
+        if self.epoch_slots is not None and self.epoch_slots < 1:
+            raise ValueError("epoch_slots must be >= 1 when set")
+        if (
+            self.arena_bytes_per_worker is not None
+            and self.arena_bytes_per_worker < 4096
+        ):
+            raise ValueError("arena_bytes_per_worker must be >= 4096 when set")
         names = [cell.name for cell in self.cells]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate cell names: {names}")
@@ -248,6 +267,11 @@ class ScenarioSpec:
         if cell.seed is not None:
             return cell.seed
         return self.seed * 1000 + self.cell_index(cell.name)
+
+    def effective_epoch_slots(self) -> int:
+        """The barrier cadence a run actually uses: ``epoch_slots``,
+        else ``batch_slots``, else the whole horizon (free-run)."""
+        return self.epoch_slots or self.batch_slots or self.slots
 
     # -- serialization ---------------------------------------------------------
 

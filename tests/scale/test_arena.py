@@ -1,0 +1,213 @@
+"""The shared-memory arena: ring discipline, exhaustion, round-trips."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scale.arena import (
+    ArenaFullError,
+    RingBuffer,
+    SharedArena,
+    payload_nbytes,
+    payload_watermark,
+    read_payload,
+    write_payload,
+)
+
+
+def _ring(capacity=64):
+    return RingBuffer(memoryview(bytearray(capacity)))
+
+
+class TestRingBuffer:
+    def test_write_then_view_round_trips(self):
+        ring = _ring()
+        extent = ring.write(b"hello arena")
+        offset, nbytes, mark = extent
+        assert bytes(ring.view(offset, nbytes)) == b"hello arena"
+        assert mark == ring.head == len(b"hello arena")
+
+    def test_wraparound_allocates_contiguously_from_start(self):
+        ring = _ring(64)
+        first = ring.write(b"a" * 40)
+        ring.release_until(first[2])
+        # 24 B remain at the end of the region; a 32 B write must wrap.
+        second = ring.write(b"b" * 32)
+        assert second[0] == 0  # physical offset restarted
+        assert bytes(ring.view(second[0], second[1])) == b"b" * 32
+        # The wrap padding (24 B) plus the payload advanced the head.
+        assert second[2] == 40 + 24 + 32
+
+    def test_wraparound_sustains_many_epochs(self):
+        """Alternating write/ack crosses the seam many times unscathed."""
+        ring = _ring(64)
+        for epoch in range(100):
+            payload = bytes([epoch % 251]) * (17 + epoch % 19)
+            extent = ring.write(payload)
+            assert bytes(ring.view(extent[0], extent[1])) == payload
+            ring.release_until(extent[2])
+        assert ring.used == 0
+
+    def test_full_ring_raises_not_corrupts(self):
+        ring = _ring(64)
+        keep = ring.write(b"k" * 48)
+        with pytest.raises(ArenaFullError):
+            ring.write(b"x" * 32)  # 16 B free: wraps are no escape
+        # The committed payload is untouched by the failed allocation.
+        assert bytes(ring.view(keep[0], keep[1])) == b"k" * 48
+        assert ring.head == keep[2]
+
+    def test_oversized_payload_raises_even_on_empty_ring(self):
+        with pytest.raises(ArenaFullError):
+            _ring(64).alloc(65)
+
+    def test_release_cannot_pass_the_head(self):
+        ring = _ring(64)
+        ring.write(b"abc")
+        with pytest.raises(ValueError):
+            ring.release_until(99)
+
+    def test_unreleased_tail_blocks_reuse(self):
+        ring = _ring(64)
+        ring.write(b"a" * 30)  # never acked
+        with pytest.raises(ArenaFullError):
+            ring.write(b"b" * 40)
+
+
+class TestPayloadFraming:
+    def test_plain_data_round_trip(self):
+        ring = _ring(4096)
+        payload = {"reports": [1, 2.5, "three"], "nested": {"k": (1, 2)}}
+        descriptor = write_payload(ring, payload)
+        assert read_payload(ring, descriptor) == payload
+        assert payload_watermark(descriptor) == ring.head
+        assert payload_nbytes(descriptor) > 0
+
+    def test_numpy_arrays_travel_out_of_band_as_views(self):
+        ring = _ring(8192)
+        batch = [np.arange(64, dtype=np.int16), np.ones(32, dtype=np.float64)]
+        descriptor = write_payload(ring, batch)
+        main_extent, buffer_extents = descriptor
+        assert len(buffer_extents) == 2  # one raw extent per array
+        assert sum(n for _, n, _ in buffer_extents) == 64 * 2 + 32 * 8
+        restored = read_payload(ring, descriptor)
+        np.testing.assert_array_equal(restored[0], batch[0])
+        np.testing.assert_array_equal(restored[1], batch[1])
+        # Out-of-band buffers alias the ring until released: mutating the
+        # ring bytes is visible through the restored array (zero-copy).
+        offset = buffer_extents[0][0]
+        ring.view(offset, 2)[:] = np.int16(999).tobytes()
+        assert restored[0][0] == 999
+
+    def test_payload_too_big_raises_before_writing(self):
+        ring = _ring(4096)
+        ring.write(b"x" * 4000)
+        head = ring.head
+        with pytest.raises(ArenaFullError):
+            write_payload(ring, b"y" * 2000)
+        assert ring.head == head  # nothing was committed
+
+
+@st.composite
+def packet_batches(draw):
+    """Packet-batch-shaped payloads: section dicts with raw IQ arrays."""
+    n_packets = draw(st.integers(min_value=0, max_value=6))
+    batch = []
+    for index in range(n_packets):
+        n_prbs = draw(st.integers(min_value=1, max_value=16))
+        iq = draw(
+            st.binary(min_size=n_prbs * 48, max_size=n_prbs * 48)
+        )
+        batch.append(
+            {
+                "eaxc": draw(st.integers(min_value=0, max_value=7)),
+                "seq": index,
+                "start_prb": draw(st.integers(min_value=0, max_value=200)),
+                "iq": np.frombuffer(iq, dtype=np.int16).reshape(n_prbs, 24),
+                "payload": iq,
+            }
+        )
+    return batch
+
+
+def _assert_batches_identical(restored, via_pickle):
+    """Compare in a scope of their own so arena views die on return."""
+    assert len(restored) == len(via_pickle)
+    for ours, theirs in zip(restored, via_pickle):
+        assert ours["payload"] == theirs["payload"]
+        np.testing.assert_array_equal(ours["iq"], theirs["iq"])
+        assert ours["iq"].tobytes() == theirs["iq"].tobytes()
+        for key in ("eaxc", "seq", "start_prb"):
+            assert ours[key] == theirs[key]
+
+
+@given(batch=packet_batches())
+@settings(max_examples=40, deadline=None)
+def test_arena_round_trip_matches_pickle_path_byte_for_byte(batch):
+    """The arena transport is a drop-in for pipe pickling: byte-identical."""
+    arena = SharedArena.create(workers=1, bytes_per_worker=64 * 1024)
+    try:
+        ring = arena.ring(0)
+        _assert_batches_identical(
+            read_payload(ring, write_payload(ring, batch)),
+            pickle.loads(pickle.dumps(batch, protocol=5)),
+        )
+    finally:
+        arena.close()
+        arena.unlink()
+
+
+class TestSharedArena:
+    def test_regions_are_isolated_per_worker(self):
+        arena = SharedArena.create(workers=2, bytes_per_worker=4096)
+        try:
+            first, second = arena.ring(0), arena.ring(1)
+            a = first.write(b"A" * 64)
+            b = second.write(b"B" * 64)
+            assert bytes(first.view(a[0], a[1])) == b"A" * 64
+            assert bytes(second.view(b[0], b[1])) == b"B" * 64
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_attach_sees_creator_bytes(self):
+        arena = SharedArena.create(workers=1, bytes_per_worker=4096)
+        try:
+            extent = arena.ring(0).write(b"shared!")
+            other = SharedArena.attach(arena.name, 1, 4096)
+            try:
+                view = other.ring(0).view(extent[0], extent[1])
+                assert bytes(view) == b"shared!"
+                del view
+            finally:
+                other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_unlink_is_idempotent_and_removes_segment(self):
+        from multiprocessing import shared_memory
+
+        arena = SharedArena.create(workers=1, bytes_per_worker=4096)
+        name = arena.name
+        arena.close()
+        arena.unlink()
+        arena.unlink()  # second call is a no-op, not an error
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SharedArena.create(workers=0, bytes_per_worker=4096)
+        with pytest.raises(ValueError):
+            SharedArena.create(workers=1, bytes_per_worker=16)
+        arena = SharedArena.create(workers=1, bytes_per_worker=4096)
+        try:
+            with pytest.raises(IndexError):
+                arena.ring(1)
+        finally:
+            arena.close()
+            arena.unlink()

@@ -1,0 +1,244 @@
+"""The persistent worker pool: reuse, accounting, and cleanup guarantees."""
+
+import os
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.core.middlebox import Middlebox
+from repro.scale import (
+    Scenario,
+    ScenarioSpec,
+    WorkerPool,
+    register_stage,
+)
+from repro.scale.registry import STAGE_REGISTRY
+
+
+def _spec_dict(slots=4, **overrides):
+    data = {
+        "name": "pool-smoke",
+        "slots": slots,
+        "seed": 9,
+        "cells": [
+            {
+                "name": "left",
+                "pci": 1,
+                "bandwidth_hz": 20_000_000,
+                "rus": [{"name": "left-ru1"}, {"name": "left-ru2"}],
+                "ues": [
+                    {
+                        "ue_id": "u1",
+                        "flows": [
+                            {"kind": "cbr", "rate_mbps": 30,
+                             "direction": "dl"}
+                        ],
+                    }
+                ],
+                "chain": [
+                    {"stage": "das", "params": {"partial_merge": True}}
+                ],
+            },
+            {
+                "name": "right",
+                "pci": 2,
+                "bandwidth_hz": 20_000_000,
+                "rus": [{"name": "right-ru1"}],
+                "ues": [
+                    {
+                        "ue_id": "u2",
+                        "flows": [
+                            {"kind": "poisson", "rate_mbps": 10,
+                             "direction": "ul", "seed": 4}
+                        ],
+                    }
+                ],
+                "chain": [{"stage": "prb_monitor"}],
+            },
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+def _spec(slots=4, **overrides):
+    return ScenarioSpec.from_dict(_spec_dict(slots=slots, **overrides))
+
+
+def _assert_no_segment(name):
+    assert name is not None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+class CrashingMiddlebox(Middlebox):
+    """Kills its whole worker process after a few packets."""
+
+    app_name = "crashbox"
+
+    def __init__(self, crash_after=3, **kwargs):
+        super().__init__(**kwargs)
+        self._remaining = crash_after
+
+    def on_uplane(self, ctx, packet):
+        self._remaining -= 1
+        if self._remaining <= 0:
+            os._exit(13)
+        ctx.forward(packet)
+
+
+if "crashbox" not in STAGE_REGISTRY:
+    @register_stage("crashbox")
+    def _build_crashbox(stage, ctx):
+        return CrashingMiddlebox(
+            crash_after=stage.params.get("crash_after", 3),
+            **ctx.base_kwargs(stage, ctx.cell()),
+        )
+
+
+def test_pool_reuses_live_workers_across_runs():
+    spec = _spec()
+    single = Scenario(spec).run(workers=1)
+    with WorkerPool(spec, workers=2) as pool:
+        pids_before = [process.pid for process in pool._processes]
+        first = pool.run()
+        second = pool.run()
+        pids_after = [process.pid for process in pool._processes]
+    # Same digest as single-process on both runs, same worker processes.
+    assert first.digest == single.digest
+    assert second.digest == single.digest
+    assert first.timeline() == single.timeline()
+    assert pids_before == pids_after
+
+
+def test_sharded_group_results_report_executed_slots():
+    """Regression: the old collect path reported the report-list length
+    instead of the slots the worker actually stepped."""
+    spec = _spec(slots=5, epoch_slots=2)
+    result = Scenario(spec).run(workers=2)
+    for group in result.groups.values():
+        assert group.slots == spec.slots
+        assert group.events >= spec.slots  # at least one event per slot
+    # And the same accounting holds single-process.
+    inline = Scenario(spec).run(workers=1)
+    for group in inline.groups.values():
+        assert group.slots == spec.slots
+        assert group.events >= spec.slots
+
+
+def test_epoch_barriers_preserve_digest_at_every_cadence():
+    reference = Scenario(_spec()).run(workers=1)
+    for epoch_slots in (1, 2, 3, None):
+        sharded = Scenario(
+            _spec(epoch_slots=epoch_slots)
+        ).run(workers=2)
+        assert sharded.digest == reference.digest
+        expected = epoch_slots or 4
+        assert sharded.transport["epoch_slots"] == expected
+        assert sharded.transport["epochs"] == -(-4 // expected)
+
+
+def test_transport_moves_results_through_the_arena():
+    result = Scenario(_spec()).run(workers=2)
+    assert result.transport["arena_payloads"] >= 2  # one collect per worker
+    assert result.transport["arena_bytes"] > 0
+    assert result.transport["pipe_fallback_payloads"] == 0
+
+
+def test_undersized_arena_falls_back_to_pipe_without_corruption():
+    # Obs + conformance fatten the collect payload past a 4 KiB ring.
+    obs = {"enabled": True, "conformance": True}
+    reference = Scenario(_spec(slots=6, obs=obs)).run(workers=1)
+    starved = Scenario(
+        _spec(slots=6, obs=obs, arena_bytes_per_worker=4096)
+    ).run(workers=2)
+    assert starved.digest == reference.digest
+    assert starved.transport["pipe_fallback_payloads"] >= 1
+    for name, group in reference.groups.items():
+        assert starved.groups[name].digest == group.digest
+
+
+def test_normal_exit_leaves_no_workers_or_segments():
+    pool = WorkerPool(_spec(), workers=2).start()
+    name = pool.arena_name
+    processes = list(pool._processes)
+    pool.run()
+    pool.close()
+    assert all(not process.is_alive() for process in processes)
+    _assert_no_segment(name)
+
+
+def test_close_is_idempotent_and_start_after_close_refuses():
+    pool = WorkerPool(_spec(), workers=2).start()
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.start()
+
+
+def test_worker_crash_mid_run_cleans_up_processes_and_segment():
+    """A fault-injected worker death surfaces as an error AND still tears
+    down every process, pipe, and shared-memory segment."""
+    data = _spec_dict(slots=6, epoch_slots=1)
+    data["cells"][1]["chain"] = [
+        {"stage": "crashbox", "params": {"crash_after": 2}}
+    ]
+    # The crashing cell needs uplink traffic for on_uplane to fire.
+    data["cells"][1]["ues"][0]["flows"].append(
+        {"kind": "cbr", "rate_mbps": 20, "direction": "ul"}
+    )
+    pool = WorkerPool(ScenarioSpec.from_dict(data), workers=2).start()
+    name = pool.arena_name
+    processes = list(pool._processes)
+    with pytest.raises(RuntimeError, match="died mid-command"):
+        pool.run()
+    # run() closed the pool on the error path: nothing left behind.
+    assert all(not process.is_alive() for process in processes)
+    _assert_no_segment(name)
+
+
+def test_coordinator_exception_mid_run_still_tears_down(monkeypatch):
+    """An error on the coordinator side (not in any worker) must also
+    exit workers and unlink the segment."""
+    pool = WorkerPool(_spec(slots=4, epoch_slots=1), workers=2).start()
+    name = pool.arena_name
+    processes = list(pool._processes)
+    calls = {"n": 0}
+    original = WorkerPool._read_bulk
+
+    def explode(self, index, descriptor):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise OSError("synthetic coordinator fault")
+        return original(self, index, descriptor)
+
+    monkeypatch.setattr(WorkerPool, "_read_bulk", explode)
+    with pytest.raises(OSError, match="synthetic coordinator fault"):
+        pool.run()
+    assert all(not process.is_alive() for process in processes)
+    _assert_no_segment(name)
+
+
+def test_build_failure_in_worker_propagates_with_traceback():
+    data = _spec_dict()
+    data["cells"][1]["chain"] = [
+        {"stage": "resilience", "params": {"standby": "missing"}}
+    ]
+    pool = WorkerPool(ScenarioSpec.from_dict(data), workers=2)
+    name_holder = {}
+    with pytest.raises(RuntimeError, match="scale worker failed"):
+        with pool:
+            name_holder["name"] = pool.arena_name
+            pool.run()
+    _assert_no_segment(name_holder["name"])
+
+
+def test_dropped_pool_is_reaped_by_finalizer():
+    pool = WorkerPool(_spec(), workers=2).start()
+    name = pool.arena_name
+    processes = list(pool._processes)
+    pool._finalizer()  # what gc would invoke for an abandoned pool
+    _assert_no_segment(name)
+    for process in processes:
+        process.join(timeout=10)
+        assert not process.is_alive()

@@ -1,8 +1,14 @@
 """The sharding contract: any worker count, byte-identical results."""
 
+import os
+
 import pytest
 
 from repro.scale import Scenario, ScenarioSpec, plan_shards, run
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "bench_8cell.json"
+)
 
 
 def _smoke_spec(slots=3, batch_slots=None):
@@ -122,6 +128,46 @@ def test_plan_never_splits_coupling_groups():
     plan = plan_shards(spec, workers=4)
     assert plan.workers == 1  # one atomic group -> one shard
     assert plan.touchpoints == {"pair": ["left", "right"]}
+
+
+def test_epoch_slots_does_not_change_results():
+    reference = Scenario(_smoke_spec(slots=5)).run(workers=2)
+    for epoch_slots in (1, 2, 5):
+        data = {**_smoke_spec(slots=5).to_dict(), "epoch_slots": epoch_slots}
+        result = Scenario(ScenarioSpec.from_dict(data)).run(workers=2)
+        assert result.digest == reference.digest
+        assert result.transport["epoch_slots"] == epoch_slots
+
+
+def test_epoch_and_arena_knobs_round_trip_json():
+    data = {
+        **_smoke_spec().to_dict(),
+        "epoch_slots": 7,
+        "arena_bytes_per_worker": 65536,
+    }
+    spec = ScenarioSpec.from_dict(data)
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt.epoch_slots == 7
+    assert rebuilt.arena_bytes_per_worker == 65536
+    assert rebuilt.to_dict() == spec.to_dict()
+    assert rebuilt.effective_epoch_slots() == 7
+
+
+def test_golden_fixture_digest_identical_at_all_worker_counts():
+    """The PR 4 oracle on the 8-cell bench topology: sharded executions
+    at every benchmarked worker count reproduce the single-process run
+    byte for byte, under the default coarse epoch."""
+    scenario = Scenario.from_file(FIXTURE)
+    single = scenario.run(workers=1)
+    for workers in (2, 4, 8):
+        sharded = scenario.run(workers=workers)
+        assert sharded.digest == single.digest, (
+            f"digest diverged at workers={workers}"
+        )
+        # Coarse default epoch: the whole horizon in one barrier.
+        assert sharded.transport["epochs"] == 1
+        assert sharded.transport["epoch_slots"] == scenario.spec.slots
+        assert sharded.transport["pipe_fallback_payloads"] == 0
 
 
 def test_plan_is_deterministic_lpt():
