@@ -77,6 +77,9 @@ class DasMiddlebox(Middlebox):
             name=f"{self.name}-seq", obs=self.obs
         )
         self.merged_uplink_symbols = 0
+        #: (registry, (fanin histogram child, merged counter child)) —
+        #: the per-merge export site resolves these once per registry.
+        self._merge_children: tuple = (None, ())
         #: Symbols whose merge never completed before the deadline flush
         #: (an RU's packet was lost or late — Section 2.2's strict windows).
         self.missed_merge_deadlines = 0
@@ -171,18 +174,27 @@ class DasMiddlebox(Middlebox):
             return
         cached = ctx.cache_pop_all(key)
         if self.obs.enabled:
+            # Resolved once per registry: this branch runs on every
+            # completed symbol merge.
             registry = self.obs.registry
-            registry.histogram(
-                "das_merge_fanin",
-                "RU packets combined per uplink merge",
-                labels=("middlebox",),
-                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
-            ).labels(self.name).observe(len(cached))
-            registry.counter(
-                "das_merged_symbols_total",
-                "completed uplink IQ merges",
-                labels=("middlebox",),
-            ).labels(self.name).inc()
+            cached_registry, children = self._merge_children
+            if cached_registry is not registry:
+                children = (
+                    registry.histogram(
+                        "das_merge_fanin",
+                        "RU packets combined per uplink merge",
+                        labels=("middlebox",),
+                        buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+                    ).labels(self.name),
+                    registry.counter(
+                        "das_merged_symbols_total",
+                        "completed uplink IQ merges",
+                        labels=("middlebox",),
+                    ).labels(self.name),
+                )
+                self._merge_children = (registry, children)
+            children[0].observe(len(cached))
+            children[1].inc()
         merged_sections = self._merge_sections(ctx, [p for _, p in cached])
         merged = UPlaneMessage(
             direction=Direction.UPLINK,

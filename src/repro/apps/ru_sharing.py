@@ -108,6 +108,9 @@ class RuSharingMiddlebox(Middlebox):
         self.mac = mac or MacAddress.from_int(0x02_00_00_00_30_03)
         self.misaligned_copies = 0
         self.aligned_copies = 0
+        #: (registry, mux-occupancy gauge children) — resolved once per
+        #: registry by :meth:`_observe_mux_occupancy`.
+        self._mux_children: tuple = (None, ())
         #: C-plane requests: {(direction, slot_key, port): {du_id: message}}.
         self._cplane: Dict[Tuple, Dict[int, CPlaneMessage]] = {}
         #: Pending PRACH C-plane sections: {(slot_key, port): {du_id: secs}}.
@@ -138,15 +141,28 @@ class RuSharingMiddlebox(Middlebox):
             ).labels(self.name, "aligned" if aligned else "misaligned").inc()
 
     def _observe_mux_occupancy(self) -> None:
-        """Export how much per-symbol mux state is parked in the caches."""
-        gauge = self.obs.registry.gauge(
-            "ru_sharing_mux_occupancy",
-            "cached entries awaiting their mux/demux counterparts",
-            labels=("middlebox", "kind"),
-        )
-        gauge.labels(self.name, "cplane").set(len(self._cplane))
-        gauge.labels(self.name, "dl_uplane").set(len(self._dl_uplane))
-        gauge.labels(self.name, "prach").set(len(self._prach_cplane))
+        """Export how much per-symbol mux state is parked in the caches.
+
+        The gauge children are resolved once per registry — this runs on
+        every C-plane and DL U-plane packet.
+        """
+        registry = self.obs.registry
+        cached_registry, children = self._mux_children
+        if cached_registry is not registry:
+            gauge = registry.gauge(
+                "ru_sharing_mux_occupancy",
+                "cached entries awaiting their mux/demux counterparts",
+                labels=("middlebox", "kind"),
+            )
+            children = (
+                gauge.labels(self.name, "cplane"),
+                gauge.labels(self.name, "dl_uplane"),
+                gauge.labels(self.name, "prach"),
+            )
+            self._mux_children = (registry, children)
+        children[0].set(len(self._cplane))
+        children[1].set(len(self._dl_uplane))
+        children[2].set(len(self._prach_cplane))
 
     # -- handlers ------------------------------------------------------------
 

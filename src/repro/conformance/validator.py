@@ -97,6 +97,8 @@ class WireValidator:
         }
         #: (src, dst, eaxc) -> last absolute slot (mod the 256-frame epoch).
         self._last_slot = {}
+        #: Cached (registry, frames-counter child) for the per-packet export.
+        self._frames_child = None
 
     # -- entry points --------------------------------------------------------
 
@@ -128,8 +130,9 @@ class WireValidator:
             self._check_sections(packet, tap, found)
             self._check_compression(packet, tap, found)
             self._check_accounting(packet, tap, found)
-        self._check_sequence(packet, tap, found)
-        self._check_timing(packet, tap, found)
+        stream = self._stream_key(packet)
+        self._check_sequence(packet, stream, tap, found)
+        self._check_timing(packet, stream, tap, found)
         for violation in found:
             self.report.record(violation)
         self._export(found)
@@ -369,9 +372,12 @@ class WireValidator:
         )
 
     def _check_sequence(
-        self, packet: FronthaulPacket, tap: str, found: List[Violation]
+        self,
+        packet: FronthaulPacket,
+        stream: Tuple[int, int, int],
+        tap: str,
+        found: List[Violation],
     ) -> None:
-        stream = self._stream_key(packet)
         status = self._tracker.observe(
             stream, packet.ecpri.seq_id, context=packet.flow_key()
         )
@@ -398,11 +404,14 @@ class WireValidator:
             )
 
     def _check_timing(
-        self, packet: FronthaulPacket, tap: str, found: List[Violation]
+        self,
+        packet: FronthaulPacket,
+        stream: Tuple[int, int, int],
+        tap: str,
+        found: List[Violation],
     ) -> None:
         epoch = MAX_FRAME_ID * self.numerology.slots_per_frame
         current = packet.time.absolute_slot(self.numerology) % epoch
-        stream = self._stream_key(packet)
         last = self._last_slot.get(stream)
         if last is None:
             self._last_slot[stream] = current
@@ -430,11 +439,17 @@ class WireValidator:
         if not self.obs.enabled:
             return
         registry = self.obs.registry
-        registry.counter(
-            "conformance_frames_total",
-            "frames checked by the conformance validator",
-            labels=("validator",),
-        ).labels(self.name).inc()
+        frames = self._frames_child
+        if frames is None or frames[0] is not registry:
+            frames = self._frames_child = (
+                registry,
+                registry.counter(
+                    "conformance_frames_total",
+                    "frames checked by the conformance validator",
+                    labels=("validator",),
+                ).labels(self.name),
+            )
+        frames[1].inc()
         for violation in found:
             registry.counter(
                 "conformance_violations_total",

@@ -164,6 +164,10 @@ class FronthaulSwitch:
         #: Per-port fault injectors (repro.faults.FaultInjector) applied
         #: to frames on their way into the port's device.
         self._impairments: Dict[str, object] = {}
+        #: Resolved per-(port, direction) byte/packet counter children,
+        #: keyed by the registry they came from (streaming runs swap
+        #: registries) — this path runs once per delivered frame.
+        self._port_children: tuple = (None, {})
 
     def attach(
         self,
@@ -217,6 +221,35 @@ class FronthaulSwitch:
             injector = injector_from_spec(injector)
         self._impairments[port] = injector
         return injector
+
+    def _port_counters(self, port: str, direction: str) -> tuple:
+        """The (bytes, packets) counter children for one port direction.
+
+        Cached per registry: ``inject`` runs this once per delivered
+        frame, and re-resolving families and label children there is
+        measurably slower than a dict hit.
+        """
+        registry = self.obs.registry
+        cached_registry, children = self._port_children
+        if cached_registry is not registry:
+            children = {}
+            self._port_children = (registry, children)
+        pair = children.get((port, direction))
+        if pair is None:
+            pair = (
+                registry.counter(
+                    "switch_port_bytes_total",
+                    "wire bytes per switch port and direction",
+                    labels=("switch", "port", "direction"),
+                ).labels(self.name, port, direction),
+                registry.counter(
+                    "switch_port_packets_total",
+                    "frames per switch port and direction",
+                    labels=("switch", "port", "direction"),
+                ).labels(self.name, port, direction),
+            )
+            children[(port, direction)] = pair
+        return pair
 
     def _count_drop(self, from_port: str) -> None:
         self._ports[from_port].dropped_frames += 1
@@ -279,28 +312,22 @@ class FronthaulSwitch:
             if not deliveries:
                 return
         source = self._ports[from_port]
-        registry = self.obs.registry if self.obs.enabled else None
+        if self.obs.enabled:
+            tx_children = self._port_counters(from_port, "tx")
+            rx_children = self._port_counters(target.name, "rx")
+        else:
+            tx_children = rx_children = None
         for frame in deliveries:
             size = frame.wire_size
             source.tx_bytes += size
             source.tx_packets += 1
             target.rx_bytes += size
             target.rx_packets += 1
-            if registry is not None:
-                bytes_total = registry.counter(
-                    "switch_port_bytes_total",
-                    "wire bytes per switch port and direction",
-                    labels=("switch", "port", "direction"),
-                )
-                packets_total = registry.counter(
-                    "switch_port_packets_total",
-                    "frames per switch port and direction",
-                    labels=("switch", "port", "direction"),
-                )
-                bytes_total.labels(self.name, from_port, "tx").inc(size)
-                bytes_total.labels(self.name, target.name, "rx").inc(size)
-                packets_total.labels(self.name, from_port, "tx").inc()
-                packets_total.labels(self.name, target.name, "rx").inc()
+            if tx_children is not None:
+                tx_children[0].inc(size)
+                tx_children[1].inc()
+                rx_children[0].inc(size)
+                rx_children[1].inc()
             try:
                 target.deliver(frame)
             except ValueError:
@@ -308,8 +335,8 @@ class FronthaulSwitch:
                 # contain it here as a counted malformed drop instead of
                 # letting it unwind the whole slot.
                 target.malformed_frames += 1
-                if registry is not None:
-                    registry.counter(
+                if tx_children is not None:
+                    self.obs.registry.counter(
                         "switch_malformed_total",
                         "frames rejected by the receiving device's parser",
                         labels=("switch", "port"),

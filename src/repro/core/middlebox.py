@@ -112,6 +112,9 @@ class Middlebox:
         self.traces_by_class: Dict[str, List[ActionTrace]] = {}
         #: Position in an enclosing chain (set by MiddleboxChain).
         self.chain_stage: int = 0
+        #: Resolved metric children per traffic class, keyed by the
+        #: registry they came from (streaming runs swap registries).
+        self._obs_children: tuple = (None, {})
 
     # -- handler hooks ---------------------------------------------------------
 
@@ -167,68 +170,97 @@ class Middlebox:
         sampled, leave a span in the flight recorder."""
         wall_ns = obs.clock() - start_ns
         registry = obs.registry
-        registry.counter(
-            "middlebox_packets_total",
-            "packets processed per middlebox and traffic class",
-            labels=("middlebox", "class"),
-        ).labels(self.name, traffic_class).inc()
-        byte_counter = registry.counter(
-            "middlebox_bytes_total",
-            "wire bytes through each middlebox by direction",
-            labels=("middlebox", "direction"),
-        )
-        byte_counter.labels(self.name, "rx").inc(wire_bytes)
+        cached_registry, by_class = self._obs_children
+        if cached_registry is not registry:
+            by_class = {}
+            self._obs_children = (registry, by_class)
+        children = by_class.get(traffic_class)
+        if children is None:
+            # tx and drops slots stay lazy (None) so their series still
+            # appear in the registry only on first actual use.
+            children = [
+                registry.counter(
+                    "middlebox_packets_total",
+                    "packets processed per middlebox and traffic class",
+                    labels=("middlebox", "class"),
+                ).labels(self.name, traffic_class),
+                registry.counter(
+                    "middlebox_bytes_total",
+                    "wire bytes through each middlebox by direction",
+                    labels=("middlebox", "direction"),
+                ).labels(self.name, "rx"),
+                None,
+                None,
+                registry.histogram(
+                    "middlebox_modeled_ns",
+                    "modelled per-packet processing time (ActionCostModel)",
+                    labels=("middlebox", "class"),
+                ).labels(self.name, traffic_class),
+                registry.histogram(
+                    "middlebox_wall_ns",
+                    "measured per-packet wall time of this Python "
+                    "implementation",
+                    labels=("middlebox", "class"),
+                ).labels(self.name, traffic_class),
+            ]
+            by_class[traffic_class] = children
+        children[0].inc()
+        children[1].inc(wire_bytes)
         if tx_bytes:
-            byte_counter.labels(self.name, "tx").inc(tx_bytes)
+            tx = children[2]
+            if tx is None:
+                tx = children[2] = registry.counter(
+                    "middlebox_bytes_total",
+                    "wire bytes through each middlebox by direction",
+                    labels=("middlebox", "direction"),
+                ).labels(self.name, "tx")
+            tx.inc(tx_bytes)
         if not ctx.emissions:
-            registry.counter(
-                "middlebox_drops_total",
-                "packets absorbed (no emission) per middlebox",
-                labels=("middlebox",),
-            ).labels(self.name).inc()
-        registry.histogram(
-            "middlebox_modeled_ns",
-            "modelled per-packet processing time (ActionCostModel)",
-            labels=("middlebox", "class"),
-        ).labels(self.name, traffic_class).observe(modeled_ns)
-        registry.histogram(
-            "middlebox_wall_ns",
-            "measured per-packet wall time of this Python implementation",
-            labels=("middlebox", "class"),
-        ).labels(self.name, traffic_class).observe(wall_ns)
+            drops = children[3]
+            if drops is None:
+                drops = children[3] = registry.counter(
+                    "middlebox_drops_total",
+                    "packets absorbed (no emission) per middlebox",
+                    labels=("middlebox",),
+                ).labels(self.name)
+            drops.inc()
+        children[4].observe(modeled_ns)
+        children[5].observe(wall_ns)
         if obs.should_sample():
+            # Positional construction: this runs per sampled packet and
+            # keyword dataclass calls are measurably slower.
             time = packet.time
             obs.recorder.record(
                 PacketSpan(
-                    key=SpanKey(
-                        eaxc=packet.ecpri.eaxc.to_int(),
-                        frame=time.frame,
-                        subframe=time.subframe,
-                        slot=time.slot,
-                        symbol=time.symbol,
-                        direction=(
-                            "DL"
-                            if packet.direction is Direction.DOWNLINK
-                            else "UL"
-                        ),
-                        seq=packet.ecpri.seq_id,
+                    SpanKey(
+                        packet.ecpri.eaxc.to_int(),
+                        time.frame,
+                        time.subframe,
+                        time.slot,
+                        time.symbol,
+                        "DL"
+                        if packet.direction is Direction.DOWNLINK
+                        else "UL",
+                        packet.ecpri.seq_id,
                     ),
-                    middlebox=self.name,
-                    traffic_class=traffic_class,
-                    modeled_ns=modeled_ns,
-                    wall_ns=float(wall_ns),
-                    start_ns=start_ns,
-                    events=tuple(
-                        SpanEvent(
-                            kind=event.kind.value,
-                            cost_ns=event.cost_ns,
-                            location=event.location.value,
-                        )
-                        for event in ctx.trace.events
+                    self.name,
+                    traffic_class,
+                    modeled_ns,
+                    float(wall_ns),
+                    start_ns,
+                    tuple(
+                        [
+                            SpanEvent(
+                                event.kind.value,
+                                event.cost_ns,
+                                event.location.value,
+                            )
+                            for event in ctx.trace.events
+                        ]
                     ),
-                    emitted=len(ctx.emissions),
-                    dropped=not ctx.emissions,
-                    stage=self.chain_stage,
+                    len(ctx.emissions),
+                    not ctx.emissions,
+                    self.chain_stage,
                 )
             )
 

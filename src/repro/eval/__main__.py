@@ -24,6 +24,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.fig14 import run_fig14
     from repro.eval.fig15 import run_fig15a, run_fig15a_measured, run_fig15b
     from repro.eval.fig16 import run_fig16
+    from repro.eval.obs_top import run_obs_top
     from repro.eval.scale import run_scale, write_bench
     from repro.eval.table2 import run_table2
 
@@ -49,6 +50,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "appendix_a2": lambda: run_cost_analysis().format(),
         "chaos": lambda: run_chaos().format(),
         "conformance": lambda: run_conformance().format(),
+        "obs-top": lambda: run_obs_top().format(),
         "scale": _scale,
     }
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps.das import DasMiddlebox
 from repro.apps.resilience import ResilienceMiddlebox
@@ -41,6 +41,7 @@ from repro.fronthaul.ethernet import MacAddress
 from repro.fronthaul.timing import SymbolTime
 from repro.net.link import Link
 from repro.obs import Observability
+from repro.obs.sketch import QuantileSketch
 from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
@@ -52,6 +53,10 @@ DEFAULT_SLOTS = 24
 BREAKER_THRESHOLD = 5
 BREAKER_PROBATION = 6
 FAULTY_RANGE = (20, 20 + BREAKER_THRESHOLD)
+#: The SLO the seeded burn-rate scenario must fire, by name.
+SLO_ALERT_NAME = "deadline-miss-burn"
+#: Starved per-slot budget (ns): any slot carrying traffic misses it.
+SLO_STARVED_BUDGET_NS = 100.0
 
 
 def _cell() -> CellConfig:
@@ -117,12 +122,33 @@ class ChainOutcome:
 
 
 @dataclass
+class SloChaosOutcome:
+    """A seeded streamed run engineered to burn its deadline SLO budget."""
+
+    epochs: int
+    deadline_checks: int
+    deadline_misses: int
+    #: Every burn-rate alert edge the run's SLO engine emitted, in order.
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def fired(self) -> List[str]:
+        return [a["slo"] for a in self.alerts if a["state"] == "firing"]
+
+    def edge_fingerprint(self) -> Tuple:
+        return tuple(
+            (a["slo"], a["state"], a["epoch"]) for a in self.alerts
+        )
+
+
+@dataclass
 class ChaosResult:
     seed: int
     slots: int
     scenarios: List[ScenarioRow]
     chain: ChainOutcome
     failover_ms: List[float]
+    slo: Optional[SloChaosOutcome] = None
 
     def fingerprint(self) -> Tuple:
         """Stable value equality across runs at the same seed."""
@@ -146,6 +172,11 @@ class ChaosResult:
                 self.chain.ul_delivered, self.chain.failovers,
             ),
             tuple(self.failover_ms),
+            (
+                self.slo.edge_fingerprint()
+                if self.slo is not None
+                else ()
+            ),
         )
 
     def assert_healthy(self) -> None:
@@ -184,6 +215,17 @@ class ChaosResult:
             )
         if not self.failover_ms:
             raise AssertionError("no failover trials produced an event")
+        if self.slo is not None:
+            if SLO_ALERT_NAME not in self.slo.fired:
+                raise AssertionError(
+                    f"seeded SLO chaos run did not fire {SLO_ALERT_NAME!r}; "
+                    f"edges: {self.slo.alerts}"
+                )
+            if any(a["state"] == "resolved" for a in self.slo.alerts):
+                raise AssertionError(
+                    "deadline burn never recovers in this scenario, yet "
+                    f"a resolved edge appeared: {self.slo.alerts}"
+                )
 
     def format(self) -> str:
         sweep = format_table(
@@ -231,15 +273,36 @@ class ChaosResult:
                 )
             ],
         )
-        return "\n\n".join([sweep, chain_table, cdf])
+        blocks = [sweep, chain_table, cdf]
+        if self.slo is not None:
+            blocks.append(
+                format_table(
+                    "SLO burn-rate chaos: starved deadline budget "
+                    f"({self.slo.epochs} stream epochs)",
+                    ["edge", "slo", "epoch", "burn"],
+                    [
+                        (
+                            alert["state"], alert["slo"], alert["epoch"],
+                            f"{alert['burn_rate']:.1f}x",
+                        )
+                        for alert in self.slo.alerts
+                    ]
+                    or [("(none)", "-", "-", "-")],
+                )
+            )
+        return "\n\n".join(blocks)
 
 
 def _percentile(values: List[float], q: float) -> float:
+    """Sketch-backed quantile (q in [0, 1]) — the streaming plane's own
+    estimator (:class:`~repro.obs.sketch.QuantileSketch`), so CDFs here
+    and in the live dashboard agree.  Exact at q=0 and q=1."""
     if not values:
         return float("nan")
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[index]
+    sketch = QuantileSketch()
+    for value in values:
+        sketch.observe(value)
+    return sketch.quantile(q)
 
 
 # -- scenario 1: loss sweep over a DAS deployment --------------------------
@@ -493,6 +556,72 @@ def _failover_trial(seed: int, fail_slot: int) -> Optional[float]:
     return box.events[0].silence_ns / 1e6
 
 
+# -- scenario 4: deterministic SLO burn-rate alert ---------------------------
+
+
+def _run_slo_chaos(seed: int, slots: int) -> SloChaosOutcome:
+    """A streamed scenario whose deadline SLO *must* fire, same edge every
+    run: the per-slot latency budget is starved to 100 ns (any slot that
+    carries traffic misses), so the windowed miss rate burns ~100x the
+    1% objective and the engine emits one firing edge — deterministic
+    because the whole run is (seeded traffic, modelled latencies, fixed
+    epoch grid)."""
+    from repro.scale import Scenario, ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "slo-chaos",
+            "slots": slots,
+            "seed": seed,
+            "epoch_slots": max(2, slots // 4),
+            "cells": [
+                {
+                    "name": "slo-cell1",
+                    "pci": 1,
+                    "bandwidth_hz": 20_000_000,
+                    "rus": [{"name": "slo-cell1-ru1", "n_antennas": 2}],
+                    "ues": [
+                        {
+                            "ue_id": "slo-ue1",
+                            "flows": [
+                                {"kind": "cbr", "rate_mbps": 40.0,
+                                 "direction": "dl"},
+                            ],
+                        }
+                    ],
+                    "chain": [{"stage": "prb_monitor"}],
+                },
+            ],
+            "obs": {
+                "enabled": True,
+                "deadline_accounting": True,
+                "stream": True,
+                "deadline_budget_ns": SLO_STARVED_BUDGET_NS,
+                "slo": [
+                    {
+                        "name": SLO_ALERT_NAME,
+                        "objective": "deadline_miss_rate",
+                        "threshold": 0.01,
+                        "window_epochs": 2,
+                        "min_samples": 2,
+                    }
+                ],
+            },
+        }
+    )
+    result = Scenario(spec).run(workers=1)
+    stream = result.telemetry
+    assert stream is not None, "SLO chaos run produced no telemetry stream"
+    misses = sum(a.violations for a in stream.accountants.values())
+    checks = sum(len(a.accounts) for a in stream.accountants.values())
+    return SloChaosOutcome(
+        epochs=stream.epochs,
+        deadline_checks=checks,
+        deadline_misses=misses,
+        alerts=[alert.to_dict() for alert in stream.slo.alerts],
+    )
+
+
 # -- entry point -------------------------------------------------------------
 
 
@@ -519,6 +648,7 @@ def run_chaos(seed: int = 7, slots: Optional[int] = None) -> ChaosResult:
         scenarios=scenarios,
         chain=chain,
         failover_ms=failover_ms,
+        slo=_run_slo_chaos(seed, slots),
     )
     result.assert_healthy()
     return result

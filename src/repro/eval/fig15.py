@@ -18,14 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List
 
-import numpy as np
-
 if TYPE_CHECKING:
     from repro.obs import DeadlineAccountant
 
 from repro.core.datapath import ScalabilityPoint, cores_required
 from repro.core.latency import DEFAULT_COST_MODEL, ActionCostModel
 from repro.eval.report import format_table
+from repro.obs.sketch import QuantileSketch
 from repro.fronthaul.timing import SYMBOLS_PER_SLOT
 from repro.ran.cell import CellConfig
 from repro.ran.stacks import SRSRAN, VendorProfile
@@ -118,13 +117,25 @@ def run_fig15a(
 
 @dataclass
 class LatencyBreakdown:
-    """Per-traffic-class packet processing times for one RU count."""
+    """Per-traffic-class packet processing times for one RU count.
+
+    Percentiles read from mergeable quantile sketches
+    (:class:`~repro.obs.sketch.QuantileSketch`) — the same machinery the
+    streaming telemetry plane ships cross-shard, so eval numbers and live
+    dashboard numbers come from one estimator.
+    """
 
     n_rus: int
     by_class: Dict[str, List[float]]  # class -> per-packet ns
 
+    def sketch(self, traffic_class: str) -> QuantileSketch:
+        sketch = QuantileSketch()
+        for value in self.by_class[traffic_class]:
+            sketch.observe(value)
+        return sketch
+
     def percentile(self, traffic_class: str, q: float) -> float:
-        return float(np.percentile(self.by_class[traffic_class], q))
+        return self.sketch(traffic_class).percentile(q)
 
 
 @dataclass
@@ -135,14 +146,14 @@ class Fig15bResult:
         rows = []
         for breakdown in self.breakdowns:
             for traffic_class in sorted(breakdown.by_class):
-                values = np.array(breakdown.by_class[traffic_class])
+                sketch = breakdown.sketch(traffic_class)
                 rows.append(
                     (
                         breakdown.n_rus,
                         traffic_class,
-                        round(float(np.median(values)), 0),
-                        round(float(np.percentile(values, 75)), 0),
-                        round(float(values.max()), 0),
+                        round(sketch.percentile(50), 0),
+                        round(sketch.percentile(75), 0),
+                        round(sketch.max, 0),
                     )
                 )
         return format_table(

@@ -12,7 +12,16 @@ that layer made first-class:
 - :mod:`repro.obs.exposition` — Prometheus text / JSON / plain-text
   dashboard renderers;
 - :mod:`repro.obs.deadline` — per-slot modelled latency vs the O-RAN
-  symbol-timing windows (the observable Figure 15a).
+  symbol-timing windows (the observable Figure 15a);
+- :mod:`repro.obs.sketch` — mergeable DDSketch-style quantile sketches,
+  the registry's fourth metric kind (cross-shard percentiles without
+  raw arrays);
+- :mod:`repro.obs.stream` — the streaming telemetry plane: per-epoch
+  worker flushes folded live by the coordinator;
+- :mod:`repro.obs.slo` — declarative SLOs with sliding-window burn-rate
+  alerting over the stream;
+- :mod:`repro.obs.live` — live terminal/Prometheus/JSONL views over a
+  telemetry stream (``python -m repro.eval obs-top``).
 
 The whole datapath (middleboxes, chains, the embedded switch, the event
 engine, the four reference apps) is instrumented against one
@@ -43,9 +52,30 @@ from repro.obs.metrics import (
     DEFAULT_NS_BUCKETS,
     Gauge,
     Histogram,
+    MetricMergeError,
     MetricsRegistry,
 )
 from repro.obs.recorder import FlightRecorder, PacketSpan, SpanEvent, SpanKey
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    Sketch,
+    SketchMergeError,
+)
+from repro.obs.slo import (
+    EpochSample,
+    SloAlert,
+    SloEngine,
+    SloSpec,
+    default_slos,
+)
+from repro.obs.stream import GroupStreamSource, TelemetryStream
+from repro.obs.live import (
+    deterministic_exposition,
+    render_journeys,
+    render_live,
+    render_stream_prometheus,
+)
 
 
 class Observability:
@@ -64,6 +94,7 @@ class Observability:
         "registry",
         "recorder",
         "sample_every",
+        "sketch_accuracy",
         "clock",
         "_ticket",
     )
@@ -74,16 +105,26 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         recorder: Optional[FlightRecorder] = None,
         sample_every: int = 1,
+        max_spans: Optional[int] = None,
+        sketch_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
         clock=time.perf_counter_ns,
     ):
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.recorder = (
-            recorder if recorder is not None else FlightRecorder(clock=clock)
-        )
+        if recorder is None:
+            recorder = FlightRecorder(
+                capacity=max_spans if max_spans is not None else 4096,
+                clock=clock,
+            )
+        elif max_spans is not None and recorder.capacity != max_spans:
+            raise ValueError(
+                "max_spans conflicts with the provided recorder's capacity"
+            )
+        self.recorder = recorder
         self.sample_every = sample_every
+        self.sketch_accuracy = sketch_accuracy
         self.clock = clock
         self._ticket = 0
 
@@ -133,22 +174,38 @@ __all__ = [
     "Counter",
     "DEFAULT_NS_BUCKETS",
     "DEFAULT_OBSERVABILITY",
+    "DEFAULT_RELATIVE_ACCURACY",
     "DeadlineAccountant",
+    "EpochSample",
     "FlightRecorder",
     "Gauge",
+    "GroupStreamSource",
     "Histogram",
+    "MetricMergeError",
     "MetricsRegistry",
     "Observability",
     "PacketSpan",
+    "QuantileSketch",
     "SLOT_BUDGET_NS",
+    "Sketch",
+    "SketchMergeError",
+    "SloAlert",
+    "SloEngine",
+    "SloSpec",
     "SlotAccount",
     "SpanEvent",
     "SpanKey",
+    "TelemetryStream",
     "account_middleboxes",
+    "default_slos",
+    "deterministic_exposition",
     "disable",
     "enable",
     "get_observability",
     "render_dashboard",
+    "render_journeys",
     "render_json",
+    "render_live",
     "render_prometheus",
+    "render_stream_prometheus",
 ]

@@ -15,9 +15,10 @@ duration can never keep up, regardless of allowance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.fronthaul.timing import Numerology
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
 
 #: Paper budget for added middlebox processing per slot (Section 6.4.1).
 SLOT_BUDGET_NS = 30_000.0
@@ -43,6 +44,22 @@ class SlotAccount:
     def headroom_ns(self) -> float:
         return self.budget_ns - self.total_ns
 
+    def to_wire(self) -> Dict[str, Any]:
+        """Plain-data form for the streaming telemetry lane."""
+        return {
+            "slot": self.absolute_slot,
+            "stages": dict(self.per_stage_ns),
+            "budget_ns": self.budget_ns,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "SlotAccount":
+        return cls(
+            absolute_slot=data["slot"],
+            per_stage_ns=dict(data["stages"]),
+            budget_ns=data["budget_ns"],
+        )
+
 
 class DeadlineAccountant:
     """Per-slot latency budget checks over a middlebox chain.
@@ -60,6 +77,7 @@ class DeadlineAccountant:
         numerology: Numerology = Numerology(mu=1),
         budget_ns: Optional[float] = None,
         obs=None,
+        sketch_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
     ):
         self.numerology = numerology
         if budget_ns is None:
@@ -69,6 +87,18 @@ class DeadlineAccountant:
         self.obs = obs
         self.accounts: List[SlotAccount] = []
         self.violations = 0
+        #: Mergeable sketch of per-slot totals: percentiles survive the
+        #: cross-shard fold without shipping the raw account list.
+        self.latency_sketch = QuantileSketch(
+            relative_accuracy=sketch_accuracy
+        )
+
+    def _book(self, account: SlotAccount) -> None:
+        """The accounting common to direct and stream-fed observations."""
+        self.accounts.append(account)
+        if account.violated:
+            self.violations += 1
+        self.latency_sketch.observe(account.total_ns)
 
     def observe_slot(
         self, absolute_slot: int, per_stage_ns: Mapping[str, float]
@@ -79,9 +109,7 @@ class DeadlineAccountant:
             per_stage_ns=dict(per_stage_ns),
             budget_ns=self.budget_ns,
         )
-        self.accounts.append(account)
-        if account.violated:
-            self.violations += 1
+        self._book(account)
         obs = self.obs
         if obs is not None and obs.enabled:
             registry = obs.registry
@@ -98,6 +126,11 @@ class DeadlineAccountant:
                 "fronthaul_deadline_headroom_ns",
                 "remaining latency budget of the most recent slot",
             ).set(account.headroom_ns)
+            registry.sketch(
+                "fronthaul_slot_total_ns",
+                "per-slot modelled chain latency (mergeable sketch)",
+                relative_accuracy=self.latency_sketch.relative_accuracy,
+            ).observe(account.total_ns)
             stage_hist = registry.histogram(
                 "fronthaul_stage_slot_ns",
                 "per-slot modelled processing time by chain stage",
@@ -107,12 +140,32 @@ class DeadlineAccountant:
                 stage_hist.labels(stage).observe(spent_ns)
         return account
 
+    def ingest(self, wire_accounts: Iterable[Dict[str, Any]]) -> int:
+        """Fold stream-shipped accounts (:meth:`SlotAccount.to_wire`).
+
+        Books exactly what :meth:`observe_slot` books — accounts list,
+        violation count, latency sketch — but never touches the metrics
+        registry: on the coordinator those series arrive through the
+        folded metric deltas, and double-counting them here would break
+        the live-equals-collect invariant.  Returns how many accounts
+        were folded.
+        """
+        folded = 0
+        for data in wire_accounts:
+            self._book(SlotAccount.from_wire(data))
+            folded += 1
+        return folded
+
     # -- aggregate views -----------------------------------------------------
 
     def violation_rate(self) -> float:
         if not self.accounts:
             return 0.0
         return self.violations / len(self.accounts)
+
+    def percentile(self, p: float) -> float:
+        """Sketch-backed percentile (0-100) of per-slot total latency."""
+        return self.latency_sketch.percentile(p)
 
     def worst_slot(self) -> Optional[SlotAccount]:
         if not self.accounts:

@@ -44,16 +44,44 @@ def _label_str(names: List[str], values: Tuple[str, ...], extra: str = "") -> st
     return "{" + ",".join(parts) + "}"
 
 
+#: Quantiles a sketch family exposes (Prometheus summary convention).
+SKETCH_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text format, families name-sorted, label sets sorted."""
+    """Prometheus text format, families name-sorted, label sets sorted.
+
+    Sketch families render as summaries: one ``{quantile="..."}`` sample
+    per entry of :data:`SKETCH_QUANTILES`, plus ``_sum`` and ``_count``.
+    """
     lines: List[str] = []
     for family in registry.families():
         lines.append(f"# HELP {family.name} {family.help_text}")
-        lines.append(f"# TYPE {family.name} {family.metric_type}")
+        prom_type = (
+            "summary" if family.metric_type == "sketch"
+            else family.metric_type
+        )
+        lines.append(f"# TYPE {family.name} {prom_type}")
         names = list(family.label_names)
         for values in sorted(family.children()):
             child = family.children()[values]
-            if family.metric_type == "histogram":
+            if family.metric_type == "sketch":
+                for q in SKETCH_QUANTILES:
+                    q_label = f'quantile="{_format_value(q)}"'
+                    lines.append(
+                        f"{family.name}"
+                        f"{_label_str(names, values, q_label)}"
+                        f" {_format_value(child.quantile(q))}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_str(names, values)}"
+                    f" {_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_str(names, values)}"
+                    f" {child.count}"
+                )
+            elif family.metric_type == "histogram":
                 for bound, cumulative in child.cumulative_buckets():
                     le = "+Inf" if bound == float("inf") else _format_value(bound)
                     le_label = 'le="' + le + '"'
@@ -99,10 +127,11 @@ def render_dashboard(registry: MetricsRegistry, title: str = "fronthaul observab
     """Operator-facing plain-text dashboard of every registered series."""
     width = 72
     lines = ["=" * width, title.center(width), "=" * width]
-    counters, gauges, histograms = [], [], []
+    counters, gauges, histograms, sketches = [], [], [], []
     for family in registry.families():
         bucket = {
-            "counter": counters, "gauge": gauges, "histogram": histograms,
+            "counter": counters, "gauge": gauges,
+            "histogram": histograms, "sketch": sketches,
         }[family.metric_type]
         bucket.append(family)
 
@@ -132,6 +161,21 @@ def render_dashboard(registry: MetricsRegistry, title: str = "fronthaul observab
                 lines.append(
                     f"  {name:<44} {child.count:>7}"
                     f" {child.mean():>11.1f} {child.sum:>11.1f}"
+                )
+    if sketches:
+        lines.append("")
+        lines.append("sketches")
+        lines.append("-" * width)
+        lines.append(
+            f"  {'series':<40} {'count':>7} {'p50':>10} {'p99':>10}"
+        )
+        for family in sketches:
+            for label, child in _series_rows(family):
+                name = family.name if label == "-" else f"{family.name}{{{label}}}"
+                lines.append(
+                    f"  {name:<40} {child.count:>7}"
+                    f" {child.quantile(0.5):>10.1f}"
+                    f" {child.quantile(0.99):>10.1f}"
                 )
     lines.append("=" * width)
     return "\n".join(lines)

@@ -25,7 +25,26 @@ import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    Sketch,
+    SketchMergeError,
+    diff_sample as _diff_sketch_sample,
+)
+
 LabelValues = Tuple[str, ...]
+
+
+class MetricMergeError(ValueError):
+    """A snapshot cannot be folded into this registry without mis-merging.
+
+    Raised by :meth:`MetricsRegistry.merge_snapshot` when an incoming
+    series is structurally incompatible with the live family — histogram
+    bucket bounds that disagree, sketch accuracies that disagree, or a
+    family re-registered as a different kind.  The registry is left
+    exactly as it was before the offending *sample*; callers should
+    treat the whole snapshot as poisoned.
+    """
 
 #: Default histogram buckets in nanoseconds: spans the ~50 ns forward
 #: action up through multi-symbol deadline misses.
@@ -145,26 +164,35 @@ class Histogram:
 
 
 def _merge_histogram_sample(child: "Histogram", sample: Dict[str, Any]) -> None:
-    """Add one snapshot histogram sample into a live histogram child."""
+    """Add one snapshot histogram sample into a live histogram child.
+
+    Bucket-bound compatibility is validated *before* any count moves: a
+    sample whose bounds are not exactly the child's — extra bounds,
+    missing bounds, even all-zero buckets over different bounds — raises
+    :class:`MetricMergeError` instead of silently folding counts into
+    the wrong buckets.
+    """
+    by_bound = {
+        float(key): cumulative
+        for key, cumulative in sample["buckets"].items()
+        if key != "inf"
+    }
+    sample_bounds = tuple(sorted(by_bound))
+    if sample_bounds != child.bounds:
+        raise MetricMergeError(
+            f"histogram merge: {child._parent.name} sample bounds "
+            f"{sample_bounds} do not match registered bounds "
+            f"{child.bounds}"
+        )
     child.count += sample["count"]
     child.sum += sample["sum"]
     previous = 0
-    for key, cumulative in sorted(
-        ((float(k), v) for k, v in sample["buckets"].items() if k != "inf"),
-        key=lambda item: item[0],
-    ):
+    for position, bound in enumerate(sample_bounds):
+        cumulative = by_bound[bound]
         per_bucket = cumulative - previous
         previous = cumulative
-        if not per_bucket:
-            continue
-        try:
-            index = child.bounds.index(key)
-        except ValueError:
-            raise ValueError(
-                f"histogram merge: bucket bound {key} missing from "
-                f"{child._parent.name} bounds {child.bounds}"
-            ) from None
-        child.bucket_counts[index] += per_bucket
+        if per_bucket:
+            child.bucket_counts[position] += per_bucket
 
 
 class MetricFamily:
@@ -202,6 +230,15 @@ class MetricFamily:
 
     def labels(self, *values: str, **kv: str):
         """Resolve (creating on first use) the child for one label set."""
+        if not kv:
+            # Fast path: all-string positional values hit the child dict
+            # directly.  Instrumentation sites run this per packet, so the
+            # str() normalization below only runs for the first resolution
+            # of a label set (or for non-string values, which normalize to
+            # the same child through the slow path).
+            child = self._children.get(values)
+            if child is not None:
+                return child
         if kv:
             if values:
                 raise ValueError("pass labels positionally or by name, not both")
@@ -307,6 +344,23 @@ class MetricsRegistry:
             name, help_text, labels, Histogram, bounds=tuple(buckets)
         )
 
+    def sketch(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> MetricFamily:
+        """A mergeable quantile sketch family (see :mod:`repro.obs.sketch`).
+
+        Use where a percentile must survive cross-shard merging without
+        shipping raw arrays — P99 slot latency, failover-time CDFs.
+        """
+        return self._get_or_create(
+            name, help_text, labels, Sketch,
+            relative_accuracy=relative_accuracy,
+        )
+
     def families(self) -> List[MetricFamily]:
         """All families, name-sorted (the exposition order)."""
         with self._lock:
@@ -354,32 +408,53 @@ class MetricsRegistry:
             labels = tuple(family_snap["labels"])
             kind = family_snap["type"]
             series = family_snap["series"]
-            if kind == "counter":
-                family = self.counter(name, family_snap["help"], labels)
-            elif kind == "gauge":
-                family = self.gauge(name, family_snap["help"], labels)
-            elif kind == "histogram":
-                bounds = sorted(
-                    float(key)
-                    for sample in series.values()
-                    for key in sample["buckets"]
-                    if key != "inf"
-                )
-                family = self.histogram(
-                    name, family_snap["help"], labels,
-                    buckets=tuple(dict.fromkeys(bounds)),
-                )
-            else:  # pragma: no cover - snapshot only emits the three kinds
-                raise ValueError(f"unknown metric type {kind!r}")
+            try:
+                if kind == "counter":
+                    family = self.counter(name, family_snap["help"], labels)
+                elif kind == "gauge":
+                    family = self.gauge(name, family_snap["help"], labels)
+                elif kind == "histogram":
+                    bounds = sorted(
+                        float(key)
+                        for sample in series.values()
+                        for key in sample["buckets"]
+                        if key != "inf"
+                    )
+                    family = self.histogram(
+                        name, family_snap["help"], labels,
+                        buckets=tuple(dict.fromkeys(bounds)),
+                    )
+                elif kind == "sketch":
+                    accuracies = {
+                        sample["accuracy"] for sample in series.values()
+                    }
+                    family = self.sketch(
+                        name, family_snap["help"], labels,
+                        relative_accuracy=(
+                            next(iter(accuracies))
+                            if len(accuracies) == 1
+                            else DEFAULT_RELATIVE_ACCURACY
+                        ),
+                    )
+                else:
+                    raise MetricMergeError(f"unknown metric type {kind!r}")
+            except ValueError as exc:
+                # A family already registered as another kind / label set.
+                raise MetricMergeError(str(exc)) from None
             for key, sample in series.items():
                 values = tuple(key.split(",")) if key else ()
                 child = family.labels(*values)
-                if kind == "counter":
+                if kind in ("counter", "gauge"):
                     child.inc(sample)
-                elif kind == "gauge":
-                    child.inc(sample)
-                else:
+                elif kind == "histogram":
                     _merge_histogram_sample(child, sample)
+                else:
+                    try:
+                        child.sketch.merge_sample(sample)
+                    except SketchMergeError as exc:
+                        raise MetricMergeError(
+                            f"sketch merge: {name}: {exc}"
+                        ) from None
 
     def snapshot_delta(
         self, previous: Dict[str, Dict[str, Any]]
@@ -445,6 +520,8 @@ def diff_snapshot(
                 series[key] = sample
             elif family["type"] == "histogram":
                 series[key] = _diff_histogram(sample, prev_sample)
+            elif family["type"] == "sketch":
+                series[key] = _diff_sketch_sample(sample, prev_sample)
             else:
                 series[key] = sample - prev_sample
         delta[name] = {

@@ -22,9 +22,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanKey:
-    """The wire identity of one fronthaul frame."""
+    """The wire identity of one fronthaul frame.
+
+    ``group``/``shard`` locate where the span was *recorded* (coupling
+    group name, worker shard index); they default to the unsharded
+    single-process identity so instrumentation sites never need to know
+    about sharding — the streaming layer stamps them at ship time.  The
+    wire coordinates alone (:meth:`wire_key`) identify the frame, so a
+    packet journey reassembles across shards.
+    """
 
     eaxc: int
     frame: int
@@ -33,9 +41,19 @@ class SpanKey:
     symbol: int
     direction: str  # "DL" / "UL"
     seq: int
+    group: str = ""
+    shard: int = -1
 
     def slot_key(self) -> Tuple[int, int, int]:
         return (self.frame, self.subframe, self.slot)
+
+    def wire_key(self) -> Tuple[int, int, int, int, int, str, int]:
+        """The frame's wire coordinates, independent of where it was
+        recorded — the join key for cross-shard packet journeys."""
+        return (
+            self.eaxc, self.frame, self.subframe, self.slot,
+            self.symbol, self.direction, self.seq,
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -46,10 +64,12 @@ class SpanKey:
             "symbol": self.symbol,
             "direction": self.direction,
             "seq": self.seq,
+            "group": self.group,
+            "shard": self.shard,
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanEvent:
     """One action inside a span: kind, modelled cost, execution location."""
 
@@ -58,7 +78,7 @@ class SpanEvent:
     location: str
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketSpan:
     """One packet's traversal of one middlebox."""
 
@@ -111,6 +131,9 @@ class FlightRecorder:
     clock: Callable[[], int] = time.perf_counter_ns
     _spans: Deque[PacketSpan] = field(init=False, repr=False)
     evicted: int = field(init=False, default=0)
+    _recorded: int = field(init=False, default=0)
+    _drained: int = field(init=False, default=0)
+    _drained_evicted: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -124,6 +147,7 @@ class FlightRecorder:
         if len(self._spans) == self.capacity:
             self.evicted += 1
         self._spans.append(span)
+        self._recorded += 1
 
     def spans(self) -> List[PacketSpan]:
         return list(self._spans)
@@ -134,6 +158,27 @@ class FlightRecorder:
     def clear(self) -> None:
         self._spans.clear()
         self.evicted = 0
+        self._recorded = 0
+        self._drained = 0
+        self._drained_evicted = 0
+
+    def drain(self) -> Tuple[List[PacketSpan], int]:
+        """Spans recorded since the last drain, plus the dropped count.
+
+        The streaming telemetry plane calls this at every epoch boundary:
+        the first element is every still-retained span recorded since the
+        previous drain (oldest first), the second counts spans recorded in
+        the interval that rolled off the ring before this drain could ship
+        them — losses the consumer never saw.  Evicting a span that a
+        previous drain already delivered is not a loss and is not counted.
+        Never re-delivers a span.
+        """
+        fresh = min(self._recorded - self._drained, len(self._spans))
+        spans = list(self._spans)[-fresh:] if fresh else []
+        dropped = (self._recorded - self._drained) - fresh
+        self._drained = self._recorded
+        self._drained_evicted = self.evicted
+        return spans, dropped
 
     # -- queries -------------------------------------------------------------
 
@@ -163,10 +208,15 @@ class FlightRecorder:
 
     def packet_journey(self, key: SpanKey) -> List[PacketSpan]:
         """Every retained span of one wire frame, in chain-stage order —
-        the per-packet latency propagation view across a middlebox chain."""
+        the per-packet latency propagation view across a middlebox chain.
+
+        Matches on :meth:`SpanKey.wire_key` so the journey reassembles
+        even when its spans were recorded on different shards (the
+        streaming fold stamps ``group``/``shard`` onto each key)."""
+        wire = key.wire_key()
         return sorted(
-            (s for s in self._spans if s.key == key),
-            key=lambda s: (s.stage, s.start_ns),
+            (s for s in self._spans if s.key.wire_key() == wire),
+            key=lambda s: (s.stage, s.start_ns, s.key.shard),
         )
 
     # -- exports -------------------------------------------------------------

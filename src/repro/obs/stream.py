@@ -1,0 +1,381 @@
+"""Streaming telemetry transport: per-epoch flushes, live coordinator fold.
+
+PR 6's worker pool already ships *metric deltas* at every barrier epoch;
+this module widens that lane into a full telemetry plane and gives both
+ends a first-class object:
+
+- :class:`GroupStreamSource` (worker side) wraps one built coupling
+  group and produces a plain-data **epoch payload**: the group's metric
+  delta, its freshly recorded spans (drained from the flight recorder
+  and stamped with ``(group, shard)``), the deadline accounts of the
+  epoch's slots, and the conformance-count delta.  Payloads are pure
+  picklable data, so they travel the shared-memory arena ring with the
+  pipe fallback exactly like every other pool payload.
+- :class:`TelemetryStream` (coordinator side) folds payloads as they
+  arrive: metric deltas merge into a live registry, spans land in a
+  bounded coordinator recorder (cross-shard packet journeys reassemble
+  via :meth:`~repro.obs.recorder.SpanKey.wire_key`), deadline accounts
+  feed per-group :class:`~repro.obs.deadline.DeadlineAccountant` twins,
+  and every epoch emits one :class:`~repro.obs.slo.EpochSample` into the
+  :class:`~repro.obs.slo.SloEngine` plus a summary record on the
+  :class:`~repro.core.telemetry.TelemetryBus` (topic
+  :data:`EPOCH_TOPIC`).
+
+**Live equals collect, bit for bit.**  Mid-run epochs ship deltas —
+integer fields fold exactly; float sums may drift by an ulp, which is
+fine for a dashboard.  The *final* epoch instead ships each group's
+cumulative snapshot (``metrics_kind: "cumulative"``), and the fold
+rebuilds the live registry from those snapshots in sorted group order —
+the exact computation :meth:`~repro.scale.runner.ScenarioResult.metrics`
+performs at collect time — so the final live snapshot is byte-identical
+to the end-of-run ``collect()`` merge, and ``collect()`` is genuinely a
+consumer of the stream rather than a second source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.obs.deadline import DeadlineAccountant
+from repro.obs.metrics import MetricsRegistry, diff_snapshot
+from repro.obs.recorder import FlightRecorder, PacketSpan, SpanKey
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+from repro.obs.slo import EpochSample, SloEngine, SloSpec
+
+#: Bus topic carrying one summary record per folded stream epoch.
+EPOCH_TOPIC = "obs.stream.epoch"
+
+#: Counter the source bumps for spans that rolled off a worker ring
+#: before the epoch flush could ship them.
+DROPPED_SPANS_METRIC = "fronthaul_recorder_dropped_spans_total"
+
+
+class GroupStreamSource:
+    """Worker-side producer of one coupling group's epoch payloads.
+
+    ``shard`` is the worker index the group runs on (the single-process
+    runner passes ``0``).  ``stream`` gates the expensive lanes: with it
+    False only the metric delta ships — byte-compatible with the PR 6
+    behavior.
+    """
+
+    def __init__(self, group, shard: int, stream: bool = True):
+        self.group = group
+        self.shard = shard
+        self.stream = stream
+        self._last_metrics: Dict[str, Dict[str, Any]] = {}
+        self._shipped_accounts = 0
+        self._last_conformance: Dict[str, Any] = {}
+
+    def _drain_spans(self) -> Tuple[List[PacketSpan], int]:
+        recorder: FlightRecorder = self.group.obs.recorder
+        spans, evicted_delta = recorder.drain()
+        name = self.group.name
+        shard = self.shard
+        # Copy-on-ship via direct constructors: dataclasses.replace() pays
+        # a fields() walk per call, which dominates epoch flushes on
+        # span-heavy runs.
+        stamped = []
+        for span in spans:
+            key = span.key
+            stamped.append(
+                PacketSpan(
+                    key=SpanKey(
+                        eaxc=key.eaxc,
+                        frame=key.frame,
+                        subframe=key.subframe,
+                        slot=key.slot,
+                        symbol=key.symbol,
+                        direction=key.direction,
+                        seq=key.seq,
+                        group=name,
+                        shard=shard,
+                    ),
+                    middlebox=span.middlebox,
+                    traffic_class=span.traffic_class,
+                    modeled_ns=span.modeled_ns,
+                    wall_ns=span.wall_ns,
+                    start_ns=span.start_ns,
+                    events=span.events,
+                    emitted=span.emitted,
+                    dropped=span.dropped,
+                    stage=span.stage,
+                )
+            )
+        return stamped, evicted_delta
+
+    def _deadline_delta(self) -> List[Dict[str, Any]]:
+        accountant = self.group.accountant
+        if accountant is None:
+            return []
+        fresh = accountant.accounts[self._shipped_accounts:]
+        self._shipped_accounts = len(accountant.accounts)
+        return [account.to_wire() for account in fresh]
+
+    def _conformance_delta(self) -> Dict[str, Any]:
+        validator = self.group.validator
+        if validator is None:
+            return {}
+        report = validator.report
+        previous = self._last_conformance
+        counts = {
+            str(kind): count for kind, count in report.counts.items()
+        }
+        delta = {
+            "frames_checked": (
+                report.frames_checked - previous.get("frames_checked", 0)
+            ),
+            "counts": {
+                kind: count - previous.get("counts", {}).get(kind, 0)
+                for kind, count in counts.items()
+            },
+        }
+        self._last_conformance = {
+            "frames_checked": report.frames_checked,
+            "counts": counts,
+        }
+        delta["counts"] = {k: v for k, v in delta["counts"].items() if v}
+        return delta
+
+    def epoch_payload(self, final: bool = False) -> Dict[str, Any]:
+        """Flush everything this group accumulated since the last epoch.
+
+        Side-effect order matters: spans drain (and the dropped-span
+        counter bumps) *before* the metrics snapshot, so the shipped
+        delta already carries the drop accounting for this epoch.
+        """
+        payload: Dict[str, Any] = {
+            "group": self.group.name,
+            "shard": self.shard,
+        }
+        registry: MetricsRegistry = self.group.obs.registry
+        if self.stream:
+            spans, evicted_delta = self._drain_spans()
+            if evicted_delta:
+                registry.counter(
+                    DROPPED_SPANS_METRIC,
+                    "spans evicted from a worker flight-recorder ring "
+                    "before the epoch flush shipped them",
+                    labels=("group",),
+                ).labels(self.group.name).inc(evicted_delta)
+            payload["spans"] = spans
+            payload["spans_dropped"] = evicted_delta
+            payload["deadline"] = self._deadline_delta()
+            payload["conformance"] = self._conformance_delta()
+        snapshot = registry.snapshot()
+        delta = diff_snapshot(snapshot, self._last_metrics)
+        if final:
+            # The final epoch ships the authoritative cumulative snapshot
+            # (live == collect, bit for bit) but still carries the delta
+            # so epoch-scoped extractions (breaker opens) never recount
+            # what earlier epochs already folded.
+            payload["metrics"] = snapshot
+            payload["metrics_kind"] = "cumulative"
+            payload["metrics_delta"] = delta
+        else:
+            payload["metrics"] = delta
+            payload["metrics_kind"] = "delta"
+        self._last_metrics = snapshot
+        return payload
+
+
+def _breaker_opens_delta(metrics_delta: Dict[str, Dict[str, Any]]) -> int:
+    """Circuit-breaker open transitions carried by one metric delta."""
+    family = metrics_delta.get("chain_breaker_transitions_total")
+    if not family:
+        return 0
+    opens = 0
+    for key, value in family["series"].items():
+        if key.split(",")[-1] == "open":
+            opens += int(value)
+    return opens
+
+
+class TelemetryStream:
+    """Coordinator-side fold of every group's epoch payloads.
+
+    One instance lives for one run.  :meth:`fold_epoch` is called at
+    every barrier with the payloads of *all* groups (any worker order —
+    the fold sorts by group name, so results are placement-independent),
+    and incrementally maintains:
+
+    - :attr:`registry` — the live metric fold (exact for integers
+      mid-run, byte-exact after the final cumulative epoch);
+    - :attr:`recorder` — a bounded ring of streamed spans with
+      ``(group, shard)``-stamped keys;
+    - :attr:`accountants` — per-group deadline-accountant twins built
+      purely from the stream (identical to the worker-side ones, which
+      the property suite pins);
+    - :attr:`slo` — the burn-rate engine, fed one
+      :class:`~repro.obs.slo.EpochSample` per epoch;
+    - ``bus`` topic :data:`EPOCH_TOPIC` and the optional ``tail`` sink
+      (one JSON line per epoch — ``tail`` is any writable text file).
+    """
+
+    def __init__(
+        self,
+        bus=None,
+        slo_specs: Sequence[SloSpec] = (),
+        max_spans: int = 4096,
+        sketch_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        tail: Optional[IO[str]] = None,
+        source: str = "telemetry-stream",
+    ):
+        self.bus = bus
+        self.registry = MetricsRegistry()
+        self.recorder = FlightRecorder(capacity=max_spans)
+        self.accountants: Dict[str, DeadlineAccountant] = {}
+        self.slo = SloEngine(slo_specs, bus=bus, source=source)
+        self.sketch_accuracy = sketch_accuracy
+        self.tail = tail
+        self.source = source
+        self.epochs = 0
+        self.spans_seen = 0
+        self.spans_dropped: Dict[str, int] = {}
+        self.frames_checked = 0
+        self.conformance_counts: Dict[str, int] = {}
+        self._final = False
+
+    # -- folding ---------------------------------------------------------
+
+    def _fold_metrics(self, payloads: List[Dict[str, Any]]) -> None:
+        if payloads and payloads[0].get("metrics_kind") == "cumulative":
+            # Final epoch: rebuild from the authoritative snapshots, in
+            # the same sorted-group order collect() merges them — the
+            # bit-for-bit live == collect guarantee.
+            rebuilt = MetricsRegistry()
+            for payload in payloads:
+                rebuilt.merge_snapshot(payload["metrics"])
+            self.registry = rebuilt
+            self._final = True
+            return
+        for payload in payloads:
+            self.registry.merge_snapshot(payload["metrics"])
+
+    def _fold_spans(self, payload: Dict[str, Any]) -> None:
+        for span in payload.get("spans", ()):
+            self.recorder.record(span)
+            self.spans_seen += 1
+        dropped = payload.get("spans_dropped", 0)
+        if dropped:
+            group = payload["group"]
+            self.spans_dropped[group] = (
+                self.spans_dropped.get(group, 0) + dropped
+            )
+
+    def _fold_deadline(
+        self, payload: Dict[str, Any], epoch_sketch: QuantileSketch
+    ) -> Tuple[int, int]:
+        accounts = payload.get("deadline", ())
+        if not accounts:
+            return 0, 0
+        group = payload["group"]
+        accountant = self.accountants.get(group)
+        if accountant is None:
+            accountant = DeadlineAccountant(
+                budget_ns=accounts[0]["budget_ns"],
+                sketch_accuracy=self.sketch_accuracy,
+            )
+            self.accountants[group] = accountant
+        before = accountant.violations
+        folded = accountant.ingest(accounts)
+        for account in accounts:
+            epoch_sketch.observe(sum(account["stages"].values()))
+        return folded, accountant.violations - before
+
+    def _fold_conformance(self, payload: Dict[str, Any]) -> Tuple[int, int]:
+        delta = payload.get("conformance") or {}
+        frames = delta.get("frames_checked", 0)
+        self.frames_checked += frames
+        violations = 0
+        for kind, count in delta.get("counts", {}).items():
+            self.conformance_counts[kind] = (
+                self.conformance_counts.get(kind, 0) + count
+            )
+            violations += count
+        return frames, violations
+
+    def fold_epoch(self, payloads: Sequence[Dict[str, Any]]) -> EpochSample:
+        """Fold one barrier epoch's payloads (all groups, any order)."""
+        ordered = sorted(payloads, key=lambda p: p["group"])
+        epoch = self.epochs
+        epoch_sketch = QuantileSketch(
+            relative_accuracy=self.sketch_accuracy
+        )
+        checks = misses = frames = violations = opens = 0
+        for payload in ordered:
+            self._fold_spans(payload)
+            folded, violated = self._fold_deadline(payload, epoch_sketch)
+            checks += folded
+            misses += violated
+            frames_delta, violations_delta = self._fold_conformance(payload)
+            frames += frames_delta
+            violations += violations_delta
+            opens += _breaker_opens_delta(
+                payload.get("metrics_delta", payload["metrics"])
+            )
+        self._fold_metrics(ordered)
+        sample = EpochSample(
+            epoch=epoch,
+            deadline_checks=checks,
+            deadline_misses=misses,
+            slot_sketch=epoch_sketch.sample() if epoch_sketch.count else None,
+            frames_checked=frames,
+            conformance_violations=violations,
+            breaker_opens=opens,
+        )
+        alerts = self.slo.observe_epoch(sample)
+        self.epochs += 1
+        summary = self.epoch_summary(sample, [a.to_dict() for a in alerts])
+        if self.bus is not None:
+            self.bus.publish(
+                EPOCH_TOPIC, summary,
+                timestamp_ns=float(epoch), source=self.source,
+            )
+        if self.tail is not None:
+            self.tail.write(json.dumps(summary, sort_keys=True) + "\n")
+        return sample
+
+    # -- views -------------------------------------------------------------
+
+    def epoch_summary(
+        self, sample: EpochSample, alerts: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """The JSON-safe record published per epoch (bus + JSONL tail)."""
+        return {
+            "epoch": sample.epoch,
+            "deadline_checks": sample.deadline_checks,
+            "deadline_misses": sample.deadline_misses,
+            "frames_checked": sample.frames_checked,
+            "conformance_violations": sample.conformance_violations,
+            "breaker_opens": sample.breaker_opens,
+            "spans_seen": self.spans_seen,
+            "spans_dropped": sum(self.spans_dropped.values()),
+            "alerts": alerts,
+            "firing": self.slo.firing(),
+        }
+
+    def live_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The live registry's current snapshot (final == collect())."""
+        return self.registry.snapshot()
+
+    @property
+    def finalized(self) -> bool:
+        """True once the final cumulative epoch has been folded."""
+        return self._final
+
+    def p99_slot_latency_ns(self) -> float:
+        """Cross-shard P99 of per-slot chain latency over the whole run."""
+        merged = QuantileSketch(relative_accuracy=self.sketch_accuracy)
+        for name in sorted(self.accountants):
+            merged.merge(self.accountants[name].latency_sketch)
+        return merged.quantile(0.99)
+
+
+__all__ = [
+    "DROPPED_SPANS_METRIC",
+    "EPOCH_TOPIC",
+    "GroupStreamSource",
+    "TelemetryStream",
+]

@@ -157,7 +157,12 @@ def build_group(
     from repro.scale.registry import StageBuildContext, build_stage
 
     obs = (
-        Observability(enabled=True, sample_every=spec.obs.sample_every)
+        Observability(
+            enabled=True,
+            sample_every=spec.obs.sample_every,
+            max_spans=spec.obs.max_spans,
+            sketch_accuracy=spec.obs.sketch_accuracy,
+        )
         if spec.obs.enabled
         else obs_module.DEFAULT_OBSERVABILITY
     )
@@ -195,7 +200,9 @@ def build_group(
     if spec.obs.deadline_accounting:
         accountant = DeadlineAccountant(
             numerology=built_cells[0].config.numerology,
+            budget_ns=spec.obs.deadline_budget_ns,
             obs=obs if spec.obs.enabled else None,
+            sketch_accuracy=spec.obs.sketch_accuracy,
         )
     validator = None
     if spec.obs.conformance:

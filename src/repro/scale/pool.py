@@ -15,11 +15,12 @@ any worker count) while removing all three overheads:
 2. **Barrier epochs, not batch slots.**  The coordinator barriers every
    :meth:`~repro.scale.spec.ScenarioSpec.effective_epoch_slots` slots
    (default: the whole horizon — the coarsest epoch) and each ack
-   carries only ``(slots, events, metrics-delta descriptor)``.  Metric
-   deltas accumulate worker-side between barriers and fold into the
-   coordinator's :attr:`WorkerPool.live_metrics` registry at each epoch
-   boundary, so long runs expose progressing telemetry without per-slot
-   chatter.
+   carries only ``(slots, events, telemetry-payload descriptor)``.
+   Telemetry accumulates worker-side between barriers (metric deltas
+   always; spans, deadline accounts and conformance deltas when the
+   spec streams) and folds into the coordinator's
+   :attr:`WorkerPool.telemetry` stream at each epoch boundary, so long
+   runs expose progressing telemetry without per-slot chatter.
 3. **Shared-memory transport.**  Bulk payloads (epoch metric deltas and
    the collected :class:`~repro.scale.runner.GroupResult` lists) travel
    through a preallocated :class:`~repro.scale.arena.SharedArena` ring
@@ -41,7 +42,7 @@ import traceback
 import weakref
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry, diff_snapshot
+from repro.obs.stream import GroupStreamSource, TelemetryStream
 from repro.scale.arena import (
     ArenaFullError,
     SharedArena,
@@ -78,8 +79,14 @@ def _worker_loop(
     Protocol (coordinator -> worker; every command but ``exit`` ends
     with the coordinator's ack watermark, releasing ring space):
 
-    - ``("epoch", n_slots, ack)`` advances every local group ``n_slots``
-      and replies ``("ok", n_slots, events, metrics_descriptor|None)``.
+    - ``("epoch", n_slots, final, ack)`` advances every local group
+      ``n_slots`` and replies ``("ok", n_slots, events,
+      payload_descriptor|None)`` where the payload is the list of the
+      local groups' telemetry epoch payloads
+      (:meth:`~repro.obs.stream.GroupStreamSource.epoch_payload`) —
+      metric deltas always, plus spans/deadline/conformance lanes when
+      the spec streams.  ``final`` marks the horizon's last epoch, whose
+      payloads carry cumulative snapshots.
     - ``("collect", ack)`` summarizes the groups and replies
       ``("result", descriptor)`` — or ``("result", (_INLINE, results))``
       when the payload cannot fit the ring.
@@ -95,13 +102,24 @@ def _worker_loop(
 
     failure: Optional[str] = None
     groups: List[BuiltGroup] = []
+    sources: List[GroupStreamSource] = []
     spec: Optional[ScenarioSpec] = None
     arena: Optional[SharedArena] = None
     ring = None
+
+    def _make_sources() -> List[GroupStreamSource]:
+        if not spec.obs.enabled:
+            return []
+        return [
+            GroupStreamSource(group, shard=region, stream=spec.obs.stream)
+            for group in groups
+        ]
+
     try:
         spec = ScenarioSpec.from_dict(spec_dict)
         groups = build_groups(spec, names)
         _attach_engines(groups)
+        sources = _make_sources()
         arena = SharedArena.attach(arena_name, regions, bytes_per_worker)
         ring = arena.ring(region)
     except Exception:
@@ -116,7 +134,6 @@ def _worker_loop(
                 pass
         return (_INLINE, obj)
 
-    last_metrics: Dict[str, Dict[str, Any]] = {}
     while True:
         try:
             command = conn.recv()
@@ -134,21 +151,13 @@ def _worker_loop(
             if op == "epoch":
                 events = _step_groups(groups, command[1])
                 descriptor = None
-                if spec.obs.enabled:
-                    deltas = []
-                    for group in groups:
-                        snapshot = group.obs.registry.snapshot()
-                        deltas.append(
-                            (
-                                group.name,
-                                diff_snapshot(
-                                    snapshot,
-                                    last_metrics.get(group.name, {}),
-                                ),
-                            )
-                        )
-                        last_metrics[group.name] = snapshot
-                    descriptor = ship(deltas)
+                if sources:
+                    descriptor = ship(
+                        [
+                            source.epoch_payload(final=command[2])
+                            for source in sources
+                        ]
+                    )
                 conn.send(("ok", command[1], events, descriptor))
             elif op == "collect":
                 results = [_summarize_group(group) for group in groups]
@@ -156,7 +165,7 @@ def _worker_loop(
             elif op == "reset":
                 groups = build_groups(spec, names)
                 _attach_engines(groups)
-                last_metrics = {}
+                sources = _make_sources()
                 if ring is not None:
                     ring.reset()
                 conn.send(("ok", 0, 0, None))
@@ -211,6 +220,8 @@ class WorkerPool:
         spec: ScenarioSpec,
         workers: int,
         arena_bytes_per_worker: Optional[int] = None,
+        bus=None,
+        tail=None,
     ):
         self.spec = spec
         self.plan = plan_shards(spec, workers)
@@ -220,8 +231,11 @@ class WorkerPool:
             or spec.arena_bytes_per_worker
             or DEFAULT_ARENA_BYTES
         )
-        #: Epoch metric deltas folded live at every barrier (obs runs).
-        self.live_metrics = MetricsRegistry()
+        self.bus = bus
+        self.tail = tail
+        #: The live coordinator fold of every epoch's telemetry payloads
+        #: (fresh per run; see :mod:`repro.obs.stream`).
+        self.telemetry: TelemetryStream = self._new_stream()
         self._arena: Optional[SharedArena] = None
         self._connections: List = []
         self._processes: List = []
@@ -234,6 +248,22 @@ class WorkerPool:
         self._transport: Dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _new_stream(self) -> TelemetryStream:
+        obs = self.spec.obs
+        return TelemetryStream(
+            bus=self.bus,
+            slo_specs=obs.slo_specs(),
+            max_spans=obs.max_spans if obs.max_spans is not None else 4096,
+            sketch_accuracy=obs.sketch_accuracy,
+            tail=self.tail,
+            source=f"pool:{self.spec.name}",
+        )
+
+    @property
+    def live_metrics(self):
+        """The live metric fold (the telemetry stream's registry)."""
+        return self.telemetry.registry
 
     @property
     def arena_name(self) -> Optional[str]:
@@ -352,7 +382,6 @@ class WorkerPool:
         for index in range(len(self._connections)):
             self._recv(index)
             self._acked[index] = 0
-        self.live_metrics = MetricsRegistry()
 
     # -- execution -----------------------------------------------------------
 
@@ -371,6 +400,7 @@ class WorkerPool:
             if self._dirty:
                 self._reset()
             self._dirty = True
+            self.telemetry = self._new_stream()
             self._transport = {
                 "arena_payloads": 0,
                 "arena_bytes": 0,
@@ -381,10 +411,13 @@ class WorkerPool:
             done = 0
             while done < self.spec.slots:
                 step = min(epoch, self.spec.slots - done)
+                final = done + step >= self.spec.slots
                 for index, conn in enumerate(self._connections):
-                    conn.send(("epoch", step, self._acked[index]))
+                    conn.send(("epoch", step, final, self._acked[index]))
                 # Barrier: every shard finishes the epoch before any
-                # proceeds; acks are tiny (slots, events, delta descriptor).
+                # proceeds; acks are tiny (slots, events, payload
+                # descriptor).
+                payloads = []
                 for index in range(len(self._connections)):
                     reply = self._recv(index)
                     if reply[0] != "ok":
@@ -392,8 +425,9 @@ class WorkerPool:
                             f"scale worker protocol error: {reply!r}"
                         )
                     if reply[3] is not None:
-                        for name, delta in self._read_bulk(index, reply[3]):
-                            self.live_metrics.merge_snapshot(delta)
+                        payloads.extend(self._read_bulk(index, reply[3]))
+                if payloads:
+                    self.telemetry.fold_epoch(payloads)
                 done += step
                 self._transport["epochs"] += 1
             groups = {}
@@ -418,6 +452,7 @@ class WorkerPool:
             groups=groups,
             plan=self.plan,
             transport=dict(self._transport, epoch_slots=epoch),
+            telemetry=self.telemetry if self.spec.obs.enabled else None,
         )
 
 

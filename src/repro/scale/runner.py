@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional
 from repro.conformance import ConformanceReport
 from repro.obs.exposition import render_prometheus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import GroupStreamSource, TelemetryStream
 from repro.scale.build import BuiltGroup, build_groups
 from repro.scale.shard import ShardPlan
 from repro.scale.spec import ScenarioSpec
@@ -95,6 +96,12 @@ class ScenarioResult:
     #: bytes moved through the shared-memory arena, pipe fallbacks.
     #: Empty for single-process runs; never part of the digest.
     transport: Dict[str, int] = field(default_factory=dict)
+    #: The run's live :class:`~repro.obs.stream.TelemetryStream` fold
+    #: (``None`` when the spec's obs is disabled).  After the final
+    #: epoch its registry snapshot equals :meth:`metrics`' snapshot bit
+    #: for bit — ``collect()`` is a consumer of the stream, not a second
+    #: source of truth.  Never part of the digest.
+    telemetry: Optional[TelemetryStream] = None
 
     @property
     def cells(self) -> int:
@@ -262,28 +269,57 @@ def _step_groups(groups: List[BuiltGroup], n_slots: int) -> int:
 
 
 def run_groups_inline(
-    spec: ScenarioSpec, names: Optional[List[str]] = None
+    spec: ScenarioSpec,
+    names: Optional[List[str]] = None,
+    telemetry: Optional[TelemetryStream] = None,
 ) -> List[GroupResult]:
-    """Build and run a subset of groups to completion in this process."""
+    """Build and run a subset of groups to completion in this process.
+
+    With a ``telemetry`` stream the single-process path folds exactly
+    what a pool coordinator folds: every group's epoch payload at every
+    barrier, cumulative snapshots at the final one.  (Pool *workers*
+    pass ``None`` — their payloads cross the arena to the coordinator's
+    stream instead.)
+    """
     groups = build_groups(spec, names)
     _attach_engines(groups)
+    sources: List[GroupStreamSource] = []
+    if telemetry is not None and spec.obs.enabled:
+        sources = [
+            GroupStreamSource(group, shard=0, stream=spec.obs.stream)
+            for group in groups
+        ]
     epoch = spec.effective_epoch_slots()
     done = 0
     while done < spec.slots:
         step = min(epoch, spec.slots - done)
         _step_groups(groups, step)
         done += step
+        if sources:
+            telemetry.fold_epoch(
+                [
+                    source.epoch_payload(final=done >= spec.slots)
+                    for source in sources
+                ]
+            )
     return [_summarize_group(group) for group in groups]
 
 
 # -- sharded execution --------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec, workers: int = 1, bus=None, tail=None
+) -> ScenarioResult:
     """Run a scenario single-process (``workers=1``) or sharded.
 
     Identical results either way: same builds, same seeds, same per-group
     engines.  Only wall time differs.
+
+    ``bus``/``tail`` feed the run's live telemetry stream (epoch
+    summaries and SLO alerts on the
+    :class:`~repro.core.telemetry.TelemetryBus`, one JSON line per epoch
+    to the ``tail`` file); both are optional and obs-gated.
 
     The sharded path spins up a one-shot persistent pool
     (:class:`~repro.scale.pool.WorkerPool`); ``wall_seconds`` covers the
@@ -293,20 +329,34 @@ def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
     is what it is for.
     """
     if workers <= 1:
+        telemetry = None
+        if spec.obs.enabled:
+            obs = spec.obs
+            telemetry = TelemetryStream(
+                bus=bus,
+                slo_specs=obs.slo_specs(),
+                max_spans=(
+                    obs.max_spans if obs.max_spans is not None else 4096
+                ),
+                sketch_accuracy=obs.sketch_accuracy,
+                tail=tail,
+                source=f"inline:{spec.name}",
+            )
         started = time.perf_counter()
-        results = run_groups_inline(spec)
+        results = run_groups_inline(spec, telemetry=telemetry)
         wall = time.perf_counter() - started
         return ScenarioResult(
             name=spec.name,
             workers=1,
             wall_seconds=wall,
             groups={result.name: result for result in results},
+            telemetry=telemetry,
         )
 
     from repro.scale.pool import WorkerPool
 
     started = time.perf_counter()
-    with WorkerPool(spec, workers) as pool:
+    with WorkerPool(spec, workers, bus=bus, tail=tail) as pool:
         result = pool.run()
     result.wall_seconds = time.perf_counter() - started
     return result

@@ -187,10 +187,46 @@ class ObsSpec:
     #: Attach a per-group wire-level conformance validator at RU/DU
     #: ingress; per-shard reports merge in the ScenarioResult.
     conformance: bool = False
+    #: Stream the full telemetry plane at every barrier epoch: sampled
+    #: spans, deadline accounts and conformance deltas ride the arena
+    #: lane beside the metric deltas, and the coordinator folds them
+    #: live (see :mod:`repro.obs.stream`).  Implies nothing when
+    #: ``enabled`` is False.
+    stream: bool = False
+    #: Relative accuracy of every quantile sketch the run creates
+    #: (slot-latency percentiles, eval CDFs).
+    sketch_accuracy: float = 0.01
+    #: Flight-recorder ring size per group (and for the coordinator's
+    #: stream fold); ``None`` keeps the recorder default (4096).
+    max_spans: Optional[int] = None
+    #: Override the deadline budget (ns); ``None`` keeps the paper's
+    #: 30 us allowance.  Chaos/SLO tests pin a tiny budget here to make
+    #: burn-rate alerts deterministic.
+    deadline_budget_ns: Optional[float] = None
+    #: Declarative SLO specs evaluated over the stream (plain dicts,
+    #: see :class:`repro.obs.slo.SloSpec`).  Empty means no engine.
+    slo: Tuple[Dict[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sketch_accuracy < 1.0:
+            raise ValueError("sketch_accuracy must be in (0, 1)")
+        if self.max_spans is not None and self.max_spans < 1:
+            raise ValueError("max_spans must be >= 1 when set")
+        if self.deadline_budget_ns is not None and self.deadline_budget_ns <= 0:
+            raise ValueError("deadline_budget_ns must be positive when set")
+
+    def slo_specs(self):
+        """The parsed :class:`~repro.obs.slo.SloSpec` objects."""
+        from repro.obs.slo import SloSpec
+
+        return tuple(SloSpec.from_dict(dict(entry)) for entry in self.slo)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ObsSpec":
         _check_keys("obs", data, cls.__dataclass_fields__)
+        data = dict(data)
+        if "slo" in data:
+            data["slo"] = tuple(dict(entry) for entry in data["slo"])
         return cls(**data)
 
 

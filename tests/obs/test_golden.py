@@ -41,9 +41,9 @@ GOLDEN_JSONL = (
     '{"class": "DL C-Plane", "direction": "DL", "dropped": false,'
     ' "eaxc": 0, "emitted": 1, "events": [{"cost_ns": 50.0,'
     ' "kind": "A1.route", "location": "kernel"}], "frame": 8,'
-    ' "middlebox": "wire", "modeled_ns": 50.0, "seq": 42, "slot": 1,'
-    ' "stage": 0, "start_ns": 1000, "subframe": 1, "symbol": 3,'
-    ' "wall_ns": 250.0}'
+    ' "group": "", "middlebox": "wire", "modeled_ns": 50.0, "seq": 42,'
+    ' "shard": -1, "slot": 1, "stage": 0, "start_ns": 1000,'
+    ' "subframe": 1, "symbol": 3, "wall_ns": 250.0}'
 )
 
 

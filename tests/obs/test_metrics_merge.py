@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricMergeError, MetricsRegistry
 
 
 def _worker_registry(shard, packets, latencies):
@@ -62,6 +62,64 @@ def test_bucket_bound_mismatch_raises():
     other = MetricsRegistry()
     other.histogram("h", "", buckets=(3.0, 4.0)).observe(3.5)
     with pytest.raises(ValueError, match="histogram merge"):
+        registry.merge_snapshot(other.snapshot())
+
+
+def test_bound_mismatch_raises_typed_error_before_any_count_moves():
+    registry = MetricsRegistry()
+    live = registry.histogram("h", "", buckets=(1.0, 2.0))
+    live.observe(0.5)
+    other = MetricsRegistry()
+    other.histogram("h", "", buckets=(3.0, 4.0)).observe(3.5)
+    with pytest.raises(MetricMergeError):
+        registry.merge_snapshot(other.snapshot())
+    # Validation happened before folding: the live child is untouched.
+    child = registry.get("h")._children[()]
+    assert child.count == 1
+    assert child.bucket_counts == [1, 0]
+
+
+def test_all_zero_sample_over_wrong_bounds_still_raises():
+    # Zero counts would fold "harmlessly", but accepting them would let a
+    # structurally wrong series slip into the family: reject anyway.
+    registry = MetricsRegistry()
+    registry.histogram("h", "", buckets=(1.0, 2.0))
+    other = MetricsRegistry()
+    other.histogram("h", "", buckets=(5.0,))
+    with pytest.raises(MetricMergeError):
+        registry.merge_snapshot(other.snapshot())
+
+
+def test_kind_conflict_raises_typed_error():
+    registry = MetricsRegistry()
+    registry.counter("x", "").inc()
+    other = MetricsRegistry()
+    other.gauge("x", "").set(3)
+    with pytest.raises(MetricMergeError, match="already registered"):
+        registry.merge_snapshot(other.snapshot())
+
+
+def test_sketch_kind_merges_like_histograms():
+    single = MetricsRegistry()
+    family = single.sketch("s", "")
+    for value in (10.0, 20.0, 30.0, 40.0):
+        family.observe(value)
+    merged = MetricsRegistry()
+    for chunk in ((10.0, 20.0), (30.0, 40.0)):
+        part = MetricsRegistry()
+        child = part.sketch("s", "")
+        for value in chunk:
+            child.observe(value)
+        merged.merge_snapshot(part.snapshot())
+    assert merged.snapshot() == single.snapshot()
+
+
+def test_sketch_accuracy_mismatch_raises_typed_error():
+    registry = MetricsRegistry()
+    registry.sketch("s", "", relative_accuracy=0.01).observe(1.0)
+    other = MetricsRegistry()
+    other.sketch("s", "", relative_accuracy=0.05).observe(2.0)
+    with pytest.raises(MetricMergeError, match="sketch merge"):
         registry.merge_snapshot(other.snapshot())
 
 
