@@ -52,6 +52,7 @@ from repro.scale.spec import (
     RuSpec,
     ScenarioSpec,
     StageSpec,
+    SupervisorSpec,
     UeSpec,
 )
 
@@ -304,6 +305,31 @@ def cell_specs(draw, name: str = None, group=None) -> CellSpec:
     )
 
 
+def _finite(lo: float, hi: float):
+    return st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    )
+
+
+@st.composite
+def process_chaos_dicts(draw) -> dict:
+    """Canonical process-chaos entries (the dict form a spec carries)."""
+    from repro.faults.process import CHAOS_KINDS, ProcessChaosSpec
+
+    if draw(st.booleans()):
+        target = {"group": draw(st.sampled_from(["g0", "g1", "campus"]))}
+    else:
+        target = {"worker": draw(st.integers(min_value=0, max_value=7))}
+    return ProcessChaosSpec(
+        kind=draw(st.sampled_from(CHAOS_KINDS)),
+        epoch=draw(st.integers(min_value=0, max_value=50)),
+        rearm=draw(st.booleans()),
+        stall_s=draw(_finite(0.001, 60.0)),
+        name=draw(st.sampled_from(["", "inj-a", "inj-b"])),
+        **target,
+    ).to_dict()
+
+
 @st.composite
 def scenario_specs(draw, max_cells: int = 4) -> ScenarioSpec:
     n_cells = draw(st.integers(min_value=1, max_value=max_cells))
@@ -342,5 +368,24 @@ def scenario_specs(draw, max_cells: int = 4) -> ScenarioSpec:
                 deadline_accounting=st.booleans(),
                 conformance=st.booleans(),
             )
+        ),
+        supervisor=draw(
+            st.one_of(
+                st.none(),
+                st.builds(
+                    SupervisorSpec,
+                    barrier_timeout_s=_finite(0.1, 120.0),
+                    poll_interval_s=_finite(0.001, 1.0),
+                    max_restarts_per_worker=st.integers(
+                        min_value=0, max_value=8
+                    ),
+                    backoff_base_s=_finite(0.0, 2.0),
+                    backoff_factor=_finite(1.0, 4.0),
+                ),
+            )
+        ),
+        process_chaos=tuple(
+            draw(process_chaos_dicts())
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))
         ),
     )

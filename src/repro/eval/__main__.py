@@ -16,6 +16,7 @@ from typing import Callable, Dict
 def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.appendix import run_cost_analysis, run_sharing_math
     from repro.eval.chaos import run_chaos
+    from repro.eval.chaos_scale import run as run_chaos_scale
     from repro.eval.conformance import run_conformance
     from repro.eval.fig10 import run_fig10a, run_fig10b, run_fig10c
     from repro.eval.fig11 import run_fig11
@@ -49,6 +50,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "appendix_a1": lambda: run_sharing_math().format(),
         "appendix_a2": lambda: run_cost_analysis().format(),
         "chaos": lambda: run_chaos().format(),
+        "chaos-scale": lambda: run_chaos_scale().format(),
         "conformance": lambda: run_conformance().format(),
         "obs-top": lambda: run_obs_top().format(),
         "scale": _scale,

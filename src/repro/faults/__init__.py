@@ -7,6 +7,11 @@ behavior belongs: per-stage isolation and the circuit breaker in
 malformed-frame containment in :mod:`repro.sim.network_sim` and the
 switch.  ``SequenceTracker`` (seq_id gap/dup/reorder detection with
 8-bit wraparound) is shared by both sides.
+
+Process-level chaos (:mod:`repro.faults.process`) extends the same
+discipline to the scale-out control plane: declarative, seeded worker
+kills/stalls/poisoned replies/frame corruption, recovered exactly by
+:class:`repro.scale.supervisor.SupervisedWorkerPool`.
 """
 
 from repro.faults.injector import (
@@ -23,6 +28,13 @@ from repro.faults.middlebox import (
     FaultyMiddlebox,
     InjectedFault,
 )
+from repro.faults.process import (
+    CHAOS_KINDS,
+    ProcessChaosAgent,
+    ProcessChaosSpec,
+    corrupt_descriptor,
+    seeded_chaos_sweep,
+)
 from repro.faults.registry import (
     FAULT_REGISTRY,
     fault_config_from_spec,
@@ -33,6 +45,7 @@ from repro.faults.registry import (
 from repro.faults.sequence import SeqStatus, SeqVerdict, SequenceTracker
 
 __all__ = [
+    "CHAOS_KINDS",
     "FAULT_REGISTRY",
     "FaultConfig",
     "FaultInjector",
@@ -43,12 +56,16 @@ __all__ = [
     "ImpairedLink",
     "InjectedFault",
     "InjectorStats",
+    "ProcessChaosAgent",
+    "ProcessChaosSpec",
     "SeqStatus",
     "SeqVerdict",
     "SequenceTracker",
     "SilenceWindow",
+    "corrupt_descriptor",
     "fault_config_from_spec",
     "fault_kinds",
     "injector_from_spec",
     "register_fault",
+    "seeded_chaos_sweep",
 ]

@@ -46,6 +46,7 @@ OBJECTIVES = (
     "p99_slot_latency_ns",
     "conformance_violation_rate",
     "breaker_opens",
+    "worker_restarts",
 )
 
 
@@ -134,6 +135,9 @@ class EpochSample:
     frames_checked: int = 0
     conformance_violations: int = 0
     breaker_opens: int = 0
+    #: Pool workers the supervisor respawned while this epoch's barrier
+    #: was being re-driven (self-healing scale-out; 0 on healthy runs).
+    worker_restarts: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -206,6 +210,9 @@ class _Window:
                 return None, 0
             violations = sum(s.conformance_violations for s in self.samples)
             return violations / frames, frames
+        if objective == "worker_restarts":
+            restarts = sum(s.worker_restarts for s in self.samples)
+            return float(restarts), len(self.samples)
         # breaker_opens
         opens = sum(s.breaker_opens for s in self.samples)
         slots = sum(s.deadline_checks for s in self.samples)

@@ -235,7 +235,21 @@ class TelemetryStream:
         self.spans_dropped: Dict[str, int] = {}
         self.frames_checked = 0
         self.conformance_counts: Dict[str, int] = {}
+        self.worker_restarts_total = 0
+        self._pending_restarts = 0
         self._final = False
+
+    def note_worker_restart(self, worker: int) -> None:
+        """Record one supervised-pool worker respawn.
+
+        Restarts are coordinator events, not worker payloads — folding
+        them into the stream registry would be wiped by the final
+        cumulative rebuild — so they ride the next
+        :class:`~repro.obs.slo.EpochSample` instead, which is what the
+        ``worker_restarts`` SLO objective windows over.
+        """
+        self.worker_restarts_total += 1
+        self._pending_restarts += 1
 
     # -- folding ---------------------------------------------------------
 
@@ -324,7 +338,9 @@ class TelemetryStream:
             frames_checked=frames,
             conformance_violations=violations,
             breaker_opens=opens,
+            worker_restarts=self._pending_restarts,
         )
+        self._pending_restarts = 0
         alerts = self.slo.observe_epoch(sample)
         self.epochs += 1
         summary = self.epoch_summary(sample, [a.to_dict() for a in alerts])
@@ -350,6 +366,7 @@ class TelemetryStream:
             "frames_checked": sample.frames_checked,
             "conformance_violations": sample.conformance_violations,
             "breaker_opens": sample.breaker_opens,
+            "worker_restarts": sample.worker_restarts,
             "spans_seen": self.spans_seen,
             "spans_dropped": sum(self.spans_dropped.values()),
             "alerts": alerts,

@@ -21,14 +21,16 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.scale.arena import (
+    ArenaFrameError,
     ArenaFullError,
     RingBuffer,
     SharedArena,
     read_payload,
+    validate_descriptor,
     write_payload,
 )
 from repro.scale.build import BuiltCell, BuiltGroup, build_groups
-from repro.scale.pool import DEFAULT_ARENA_BYTES, WorkerPool
+from repro.scale.pool import DEFAULT_ARENA_BYTES, JOIN_TIMEOUT_S, WorkerPool
 from repro.scale.registry import (
     STAGE_REGISTRY,
     StageBuildContext,
@@ -51,7 +53,12 @@ from repro.scale.spec import (
     RuSpec,
     ScenarioSpec,
     StageSpec,
+    SupervisorSpec,
     UeSpec,
+)
+from repro.scale.supervisor import (
+    ShardRecoveryExhausted,
+    SupervisedWorkerPool,
 )
 
 
@@ -125,8 +132,10 @@ def run(scenario, workers: int = 1) -> ScenarioResult:
 
 __all__ = [
     "DEFAULT_ARENA_BYTES",
+    "JOIN_TIMEOUT_S",
     "SPEC_VERSION",
     "STAGE_REGISTRY",
+    "ArenaFrameError",
     "ArenaFullError",
     "BuiltCell",
     "BuiltGroup",
@@ -141,8 +150,11 @@ __all__ = [
     "ScenarioSpec",
     "SharedArena",
     "ShardPlan",
+    "ShardRecoveryExhausted",
     "StageBuildContext",
     "StageSpec",
+    "SupervisedWorkerPool",
+    "SupervisorSpec",
     "UeSpec",
     "WorkerPool",
     "build_groups",
@@ -154,5 +166,6 @@ __all__ = [
     "run_groups_inline",
     "run_scenario",
     "stage_names",
+    "validate_descriptor",
     "write_payload",
 ]

@@ -58,6 +58,17 @@ class ArenaFullError(RuntimeError):
     """
 
 
+class ArenaFrameError(RuntimeError):
+    """A payload descriptor fails its watermark/length bounds check.
+
+    A corrupted (or maliciously poisoned) descriptor must never reach
+    ``pickle.loads`` — unpickling attacker-shaped garbage is the exact
+    failure class shared-memory transports are infamous for.
+    :func:`validate_descriptor` raises this instead, and the supervised
+    pool routes it to the recovery path like any other worker fault.
+    """
+
+
 class RingBuffer:
     """A single-producer/single-consumer byte ring over a memoryview.
 
@@ -175,6 +186,68 @@ def write_payload(ring: RingBuffer, obj: Any) -> PayloadDescriptor:
         extents.append((offset + position, raw.nbytes, mark))
         position += raw.nbytes
     return (main, tuple(extents))
+
+
+def _valid_extent_shape(extent: Any) -> bool:
+    return (
+        isinstance(extent, tuple)
+        and len(extent) == 3
+        and all(
+            isinstance(part, int) and not isinstance(part, bool)
+            for part in extent
+        )
+    )
+
+
+def validate_descriptor(
+    ring: RingBuffer,
+    descriptor: Any,
+    released: int = 0,
+) -> PayloadDescriptor:
+    """Bounds-check a payload descriptor before any byte of it is read.
+
+    ``released`` is the highest watermark the reader has already acked
+    for this ring: every extent of a *fresh* payload must lie strictly
+    beyond it and within one ring capacity of it, or the descriptor
+    points at bytes the protocol can never have written.  (The check is
+    against the reader's acked watermark, not the local ring head — the
+    coordinator's ring twin never writes, so its head stays 0.)
+
+    Returns the descriptor (now known well-shaped) on success and raises
+    :class:`ArenaFrameError` on any structural or bounds violation, so
+    corrupted shared memory surfaces as a typed, recoverable fault
+    instead of a pickle of garbage.
+    """
+    if (
+        not isinstance(descriptor, tuple)
+        or len(descriptor) != 2
+        or not _valid_extent_shape(descriptor[0])
+        or not isinstance(descriptor[1], tuple)
+        or not all(_valid_extent_shape(extent) for extent in descriptor[1])
+    ):
+        raise ArenaFrameError(
+            f"malformed payload descriptor: {descriptor!r}"
+        )
+    main, extents = descriptor
+    if main[1] < 1:
+        raise ArenaFrameError(
+            f"payload descriptor has an empty in-band frame: {main!r}"
+        )
+    for offset, nbytes, mark in (main, *extents):
+        if offset < 0 or nbytes < 0 or offset + nbytes > ring.capacity:
+            raise ArenaFrameError(
+                f"extent ({offset}, {nbytes}) outside ring of "
+                f"{ring.capacity} B"
+            )
+        # A frame written after ack `released` starts from a drained
+        # ring, so its watermark advances by at most wrap padding
+        # (< capacity) plus the frame itself (<= capacity).
+        if mark <= released or mark - released >= 2 * ring.capacity:
+            raise ArenaFrameError(
+                f"extent watermark {mark} outside the live window "
+                f"({released}, {released + 2 * ring.capacity})"
+            )
+    return descriptor
 
 
 def read_payload(ring: RingBuffer, descriptor: PayloadDescriptor) -> Any:
@@ -312,6 +385,7 @@ def unlink_segment(name: str) -> None:
 
 
 __all__ = [
+    "ArenaFrameError",
     "ArenaFullError",
     "Extent",
     "PayloadDescriptor",
@@ -321,5 +395,6 @@ __all__ = [
     "payload_watermark",
     "read_payload",
     "unlink_segment",
+    "validate_descriptor",
     "write_payload",
 ]

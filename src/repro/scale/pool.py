@@ -37,6 +37,8 @@ backstop covers even a dropped, never-closed pool.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import traceback
 import weakref
@@ -50,6 +52,7 @@ from repro.scale.arena import (
     payload_watermark,
     read_payload,
     unlink_segment,
+    validate_descriptor,
     write_payload,
 )
 from repro.scale.build import BuiltGroup, build_groups
@@ -65,6 +68,42 @@ DEFAULT_ARENA_BYTES = 4 * 1024 * 1024
 _INLINE = "inline"
 
 
+def _env_join_timeout(default: float = 10.0) -> float:
+    """Worker join allowance from ``REPRO_SCALE_JOIN_TIMEOUT`` (seconds)."""
+    raw = os.environ.get("REPRO_SCALE_JOIN_TIMEOUT")
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+#: How long any teardown path waits for a worker to exit before
+#: escalating (graceful join -> SIGTERM -> SIGKILL, each bounded).
+#: Override with REPRO_SCALE_JOIN_TIMEOUT for slow CI machines.
+JOIN_TIMEOUT_S = _env_join_timeout()
+
+
+def _stop_process(process, graceful: bool = True) -> None:
+    """Bounded-time stop: join, escalate to terminate, escalate to kill.
+
+    ``graceful=True`` first gives the worker ``JOIN_TIMEOUT_S`` to exit
+    on its own (it was sent ``exit``); crash/finalizer paths skip
+    straight to SIGTERM.  A worker that ignores SIGTERM gets SIGKILL —
+    teardown never hangs on an unkillable child.
+    """
+    if graceful:
+        process.join(timeout=JOIN_TIMEOUT_S)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=JOIN_TIMEOUT_S / 2)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=JOIN_TIMEOUT_S / 2)
+
+
 def _worker_loop(
     conn,
     spec_dict: Dict[str, Any],
@@ -73,6 +112,8 @@ def _worker_loop(
     region: int,
     regions: int,
     bytes_per_worker: int,
+    replay_slots: int = 0,
+    chaos_armed: bool = True,
 ) -> None:
     """Serve pool commands until ``exit``; control pipe carries tuples only.
 
@@ -81,23 +122,39 @@ def _worker_loop(
 
     - ``("epoch", n_slots, final, ack)`` advances every local group
       ``n_slots`` and replies ``("ok", n_slots, events,
-      payload_descriptor|None)`` where the payload is the list of the
-      local groups' telemetry epoch payloads
+      payload_descriptor|None, heartbeat)`` where the payload is the
+      list of the local groups' telemetry epoch payloads
       (:meth:`~repro.obs.stream.GroupStreamSource.epoch_payload`) —
       metric deltas always, plus spans/deadline/conformance lanes when
       the spec streams.  ``final`` marks the horizon's last epoch, whose
       payloads carry cumulative snapshots.
     - ``("collect", ack)`` summarizes the groups and replies
-      ``("result", descriptor)`` — or ``("result", (_INLINE, results))``
-      when the payload cannot fit the ring.
+      ``("result", descriptor, heartbeat)`` — descriptor is
+      ``(_INLINE, results)`` when the payload cannot fit the ring.
     - ``("reset", ack)`` rebuilds the groups from the spec (fresh state,
-      same bytes as a new fork) and replies ``("ok", 0, 0, None)``.
+      same bytes as a new fork) and replies ``("ok", 0, 0, None,
+      heartbeat)``.
     - ``("exit",)`` leaves the loop; the worker closes its mapping.
+
+    The trailing heartbeat (``{"pid", "clock"}``) lets the supervised
+    pool reject replies that cannot have come from the process it is
+    barriering on.
+
+    ``replay_slots`` is the respawn fast-forward: a worker replacing a
+    failed one replays that many already-completed slots *before*
+    serving — stepping its groups and generating-then-discarding each
+    epoch's telemetry payloads, so determinism leaves it in exactly the
+    state its predecessor confirmed at the last successful barrier (the
+    coordinator folded those payloads already; regenerating advances the
+    delta baselines without double-counting).  ``chaos_armed=False``
+    (the respawn default) disarms one-shot fault injections so recovery
+    converges; ``rearm`` injections stay live.
 
     A build failure is remembered and answered to every command instead
     of closing the pipe, so the coordinator surfaces the traceback
     rather than a BrokenPipeError.
     """
+    from repro.faults.process import ProcessChaosAgent, corrupt_descriptor
     from repro.scale.runner import _attach_engines, _step_groups, _summarize_group
 
     failure: Optional[str] = None
@@ -106,6 +163,8 @@ def _worker_loop(
     spec: Optional[ScenarioSpec] = None
     arena: Optional[SharedArena] = None
     ring = None
+    chaos_agent: Optional[ProcessChaosAgent] = None
+    epoch_index = 0
 
     def _make_sources() -> List[GroupStreamSource]:
         if not spec.obs.enabled:
@@ -115,11 +174,29 @@ def _worker_loop(
             for group in groups
         ]
 
+    def _heartbeat() -> Dict[str, float]:
+        return {"pid": os.getpid(), "clock": time.monotonic()}
+
     try:
         spec = ScenarioSpec.from_dict(spec_dict)
         groups = build_groups(spec, names)
         _attach_engines(groups)
         sources = _make_sources()
+        chaos_agent = ProcessChaosAgent(
+            spec.chaos_specs(), region, names, armed=chaos_armed
+        )
+        # Respawn fast-forward: replay the confirmed prefix of the
+        # horizon at the run's epoch cadence.  Payloads are discarded —
+        # the coordinator already folded the originals.
+        cadence = spec.effective_epoch_slots()
+        replayed = 0
+        while replayed < replay_slots:
+            step = min(cadence, replay_slots - replayed)
+            _step_groups(groups, step)
+            replayed += step
+            for source in sources:
+                source.epoch_payload(final=replayed >= spec.slots)
+            epoch_index += 1
         arena = SharedArena.attach(arena_name, regions, bytes_per_worker)
         ring = arena.ring(region)
     except Exception:
@@ -149,6 +226,25 @@ def _worker_loop(
             if ring is not None:
                 ring.release_until(command[-1])
             if op == "epoch":
+                chaos = chaos_agent.take(epoch_index)
+                epoch_index += 1
+                if chaos is not None and chaos.kind == "kill":
+                    # Crash mid-epoch: half the slots stepped, no reply,
+                    # no cleanup — the harshest failure shape.
+                    _step_groups(groups, command[1] // 2)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if chaos is not None and chaos.kind == "stall":
+                    # Hang through the barrier deadline; if the
+                    # supervisor has not killed us by the time the nap
+                    # ends we proceed as a merely slow worker.
+                    time.sleep(chaos.stall_s)
+                if chaos is not None and chaos.kind == "poison":
+                    # Protocol-violating reply: alien heartbeat, wrong
+                    # slot count, no work done.
+                    conn.send(
+                        ("ok", command[1], -1, None, {"pid": -1, "clock": 0.0})
+                    )
+                    continue
                 events = _step_groups(groups, command[1])
                 descriptor = None
                 if sources:
@@ -158,17 +254,23 @@ def _worker_loop(
                             for source in sources
                         ]
                     )
-                conn.send(("ok", command[1], events, descriptor))
+                if chaos is not None and chaos.kind == "corrupt_frame":
+                    descriptor = corrupt_descriptor(descriptor)
+                conn.send(("ok", command[1], events, descriptor, _heartbeat()))
             elif op == "collect":
                 results = [_summarize_group(group) for group in groups]
-                conn.send(("result", ship(results)))
+                conn.send(("result", ship(results), _heartbeat()))
             elif op == "reset":
                 groups = build_groups(spec, names)
                 _attach_engines(groups)
                 sources = _make_sources()
+                chaos_agent = ProcessChaosAgent(
+                    spec.chaos_specs(), region, names, armed=True
+                )
+                epoch_index = 0
                 if ring is not None:
                     ring.reset()
-                conn.send(("ok", 0, 0, None))
+                conn.send(("ok", 0, 0, None, _heartbeat()))
             else:
                 conn.send(("error", f"unknown command {command!r}"))
         except Exception:
@@ -182,8 +284,7 @@ def _finalize_pool(arena: SharedArena, processes: List) -> None:
     """Last-resort cleanup for a pool dropped without ``close()``."""
     for process in processes:
         if process.is_alive():
-            process.terminate()
-            process.join(timeout=5)
+            _stop_process(process, graceful=False)
     name = arena.name
     arena.close()
     arena.unlink()
@@ -237,6 +338,7 @@ class WorkerPool:
         #: (fresh per run; see :mod:`repro.obs.stream`).
         self.telemetry: TelemetryStream = self._new_stream()
         self._arena: Optional[SharedArena] = None
+        self._spec_dict: Dict[str, Any] = {}
         self._connections: List = []
         self._processes: List = []
         self._rings: List = []
@@ -277,30 +379,14 @@ class WorkerPool:
                 raise RuntimeError("worker pool is closed")
             return self
         self._started = True
-        context = _mp_context()
         self._arena = SharedArena.create(self.workers, self.arena_bytes)
         self._finalizer = weakref.finalize(
             self, _finalize_pool, self._arena, self._processes
         )
-        spec_dict = self.spec.to_dict()
+        self._spec_dict = self.spec.to_dict()
         try:
             for index, names in enumerate(self.plan.shards):
-                parent, child = context.Pipe()
-                process = context.Process(
-                    target=_worker_loop,
-                    args=(
-                        child,
-                        spec_dict,
-                        names,
-                        self._arena.name,
-                        index,
-                        self.workers,
-                        self.arena_bytes,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                child.close()
+                parent, process = self._spawn_worker(index)
                 self._connections.append(parent)
                 self._processes.append(process)
                 self._rings.append(self._arena.ring(index))
@@ -309,6 +395,34 @@ class WorkerPool:
             self.close()
             raise
         return self
+
+    def _spawn_worker(
+        self,
+        index: int,
+        replay_slots: int = 0,
+        chaos_armed: bool = True,
+    ) -> Tuple[Any, Any]:
+        """Fork one worker for shard ``index``; return (pipe, process)."""
+        context = _mp_context()
+        parent, child = context.Pipe()
+        process = context.Process(
+            target=_worker_loop,
+            args=(
+                child,
+                self._spec_dict,
+                self.plan.shards[index],
+                self._arena.name,
+                index,
+                self.workers,
+                self.arena_bytes,
+                replay_slots,
+                chaos_armed,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return parent, process
 
     def __enter__(self) -> "WorkerPool":
         return self.start()
@@ -332,13 +446,7 @@ class WorkerPool:
             except OSError:  # pragma: no cover - already closed
                 pass
         for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - unkillable worker
-                process.kill()
-                process.join(timeout=5)
+            _stop_process(process, graceful=True)
         if self._arena is not None:
             self._arena.close()
             self._arena.unlink()
@@ -370,6 +478,9 @@ class WorkerPool:
         ):
             self._transport["pipe_fallback_payloads"] += 1
             return descriptor[1]
+        validate_descriptor(
+            self._rings[index], descriptor, released=self._acked[index]
+        )
         payload = read_payload(self._rings[index], descriptor)
         self._acked[index] = payload_watermark(descriptor)
         self._transport["arena_payloads"] += 1
@@ -385,66 +496,60 @@ class WorkerPool:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self):
-        """Execute the spec's horizon once; see module docstring.
+    def _begin_run(self) -> None:
+        """Per-run state reset (the supervised pool adds its budgets)."""
+        if self._dirty:
+            self._reset()
+        self._dirty = True
+        self.telemetry = self._new_stream()
+        self._transport = {
+            "arena_payloads": 0,
+            "arena_bytes": 0,
+            "pipe_fallback_payloads": 0,
+            "epochs": 0,
+        }
 
-        Any error — a worker crash, a protocol violation, a coordinator
-        exception between barriers — closes the pool (workers joined,
-        segment unlinked) before propagating.
+    def _epoch_barrier(self, step: int, final: bool, done: int) -> List[Any]:
+        """One barrier: every shard runs ``step`` slots, acks collected.
+
+        ``done`` is the count of slots already confirmed before this
+        epoch — the fast-forward point a supervised recovery would
+        replay to.  Returns the epoch's telemetry payloads flattened in
+        worker-index order.
         """
+        for index, conn in enumerate(self._connections):
+            conn.send(("epoch", step, final, self._acked[index]))
+        # Barrier: every shard finishes the epoch before any proceeds;
+        # acks are tiny (slots, events, payload descriptor, heartbeat).
+        payloads = []
+        for index in range(len(self._connections)):
+            reply = self._recv(index)
+            if reply[0] != "ok":
+                raise RuntimeError(
+                    f"scale worker protocol error: {reply!r}"
+                )
+            if reply[3] is not None:
+                payloads.extend(self._read_bulk(index, reply[3]))
+        return payloads
+
+    def _collect_results(self) -> Dict[str, Any]:
+        """Gather every group's summary after the horizon completes."""
+        groups = {}
+        for index, conn in enumerate(self._connections):
+            conn.send(("collect", self._acked[index]))
+        for index in range(len(self._connections)):
+            reply = self._recv(index)
+            if reply[0] != "result":
+                raise RuntimeError(
+                    f"scale worker protocol error: {reply!r}"
+                )
+            for result in self._read_bulk(index, reply[1]):
+                groups[result.name] = result
+        return groups
+
+    def _result(self, wall: float, groups: Dict[str, Any], epoch: int):
         from repro.scale.runner import ScenarioResult
 
-        self.start()
-        try:
-            started = time.perf_counter()
-            if self._dirty:
-                self._reset()
-            self._dirty = True
-            self.telemetry = self._new_stream()
-            self._transport = {
-                "arena_payloads": 0,
-                "arena_bytes": 0,
-                "pipe_fallback_payloads": 0,
-                "epochs": 0,
-            }
-            epoch = self.spec.effective_epoch_slots()
-            done = 0
-            while done < self.spec.slots:
-                step = min(epoch, self.spec.slots - done)
-                final = done + step >= self.spec.slots
-                for index, conn in enumerate(self._connections):
-                    conn.send(("epoch", step, final, self._acked[index]))
-                # Barrier: every shard finishes the epoch before any
-                # proceeds; acks are tiny (slots, events, payload
-                # descriptor).
-                payloads = []
-                for index in range(len(self._connections)):
-                    reply = self._recv(index)
-                    if reply[0] != "ok":
-                        raise RuntimeError(
-                            f"scale worker protocol error: {reply!r}"
-                        )
-                    if reply[3] is not None:
-                        payloads.extend(self._read_bulk(index, reply[3]))
-                if payloads:
-                    self.telemetry.fold_epoch(payloads)
-                done += step
-                self._transport["epochs"] += 1
-            groups = {}
-            for index, conn in enumerate(self._connections):
-                conn.send(("collect", self._acked[index]))
-            for index in range(len(self._connections)):
-                reply = self._recv(index)
-                if reply[0] != "result":
-                    raise RuntimeError(
-                        f"scale worker protocol error: {reply!r}"
-                    )
-                for result in self._read_bulk(index, reply[1]):
-                    groups[result.name] = result
-            wall = time.perf_counter() - started
-        except Exception:
-            self.close()
-            raise
         return ScenarioResult(
             name=self.spec.name,
             workers=self.plan.workers,
@@ -455,5 +560,33 @@ class WorkerPool:
             telemetry=self.telemetry if self.spec.obs.enabled else None,
         )
 
+    def run(self):
+        """Execute the spec's horizon once; see module docstring.
 
-__all__ = ["DEFAULT_ARENA_BYTES", "WorkerPool"]
+        Any error — a worker crash, a protocol violation, a coordinator
+        exception between barriers — closes the pool (workers joined,
+        segment unlinked) before propagating.
+        """
+        self.start()
+        try:
+            started = time.perf_counter()
+            self._begin_run()
+            epoch = self.spec.effective_epoch_slots()
+            done = 0
+            while done < self.spec.slots:
+                step = min(epoch, self.spec.slots - done)
+                final = done + step >= self.spec.slots
+                payloads = self._epoch_barrier(step, final, done)
+                if payloads:
+                    self.telemetry.fold_epoch(payloads)
+                done += step
+                self._transport["epochs"] += 1
+            groups = self._collect_results()
+            wall = time.perf_counter() - started
+        except Exception:
+            self.close()
+            raise
+        return self._result(wall, groups, epoch)
+
+
+__all__ = ["DEFAULT_ARENA_BYTES", "JOIN_TIMEOUT_S", "WorkerPool"]

@@ -102,6 +102,10 @@ class ScenarioResult:
     #: for bit — ``collect()`` is a consumer of the stream, not a second
     #: source of truth.  Never part of the digest.
     telemetry: Optional[TelemetryStream] = None
+    #: Supervised-pool recovery accounting: worker restart counts,
+    #: replayed slots, and the failure log (empty for unsupervised or
+    #: healthy runs).  Wall-clock territory — never part of the digest.
+    recovery: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def cells(self) -> int:
@@ -353,10 +357,13 @@ def run_scenario(
             telemetry=telemetry,
         )
 
-    from repro.scale.pool import WorkerPool
+    if spec.supervised():
+        from repro.scale.supervisor import SupervisedWorkerPool as pool_cls
+    else:
+        from repro.scale.pool import WorkerPool as pool_cls
 
     started = time.perf_counter()
-    with WorkerPool(spec, workers, bus=bus, tail=tail) as pool:
+    with pool_cls(spec, workers, bus=bus, tail=tail) as pool:
         result = pool.run()
     result.wall_seconds = time.perf_counter() - started
     return result

@@ -231,6 +231,44 @@ class ObsSpec:
 
 
 @dataclass(frozen=True)
+class SupervisorSpec:
+    """Self-healing policy for the supervised worker pool.
+
+    ``barrier_timeout_s`` bounds how long the coordinator waits on any
+    one worker's barrier reply before declaring it hung (the poll loop
+    also notices a crashed worker much sooner, via ``is_alive``).
+    ``max_restarts_per_worker`` caps recovery attempts per shard within
+    one run; exceeding it raises
+    :class:`~repro.scale.supervisor.ShardRecoveryExhausted` instead of
+    retrying forever.  Respawn attempts back off geometrically
+    (``backoff_base_s * backoff_factor ** restarts_so_far``).
+    """
+
+    barrier_timeout_s: float = 30.0
+    poll_interval_s: float = 0.05
+    max_restarts_per_worker: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.barrier_timeout_s <= 0:
+            raise ValueError("barrier_timeout_s must be positive")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if self.max_restarts_per_worker < 0:
+            raise ValueError("max_restarts_per_worker must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SupervisorSpec":
+        _check_keys("supervisor", data, cls.__dataclass_fields__)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete multi-cell deployment description."""
 
@@ -256,6 +294,13 @@ class ScenarioSpec:
     #: pipe, so undersizing costs speed, never correctness.
     arena_bytes_per_worker: Optional[int] = None
     obs: ObsSpec = field(default_factory=ObsSpec)
+    #: Self-healing policy for sharded runs; ``None`` keeps the plain
+    #: fail-fast pool unless ``process_chaos`` forces supervision.
+    supervisor: Optional[SupervisorSpec] = None
+    #: Declarative process-level failure injections (plain dicts, see
+    #: :class:`repro.faults.process.ProcessChaosSpec`).  Ignored by the
+    #: inline (workers <= 1) path — there is no process to kill.
+    process_chaos: Tuple[Dict[str, Any], ...] = ()
     version: int = SPEC_VERSION
 
     def __post_init__(self) -> None:
@@ -309,6 +354,22 @@ class ScenarioSpec:
         else ``batch_slots``, else the whole horizon (free-run)."""
         return self.epoch_slots or self.batch_slots or self.slots
 
+    def chaos_specs(self):
+        """The parsed process-chaos injections (deferred import, like
+        :meth:`ObsSpec.slo_specs`, to keep the spec layer standalone)."""
+        from repro.faults.process import ProcessChaosSpec
+
+        return tuple(
+            ProcessChaosSpec.from_dict(dict(entry))
+            for entry in self.process_chaos
+        )
+
+    def supervised(self) -> bool:
+        """Should a sharded run use the self-healing pool?  Explicitly
+        configured supervision, or any chaos injection (an unsupervised
+        chaos run would just crash)."""
+        return self.supervisor is not None or bool(self.process_chaos)
+
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -328,6 +389,12 @@ class ScenarioSpec:
         )
         if "obs" in data:
             data["obs"] = ObsSpec.from_dict(data["obs"])
+        if data.get("supervisor") is not None:
+            data["supervisor"] = SupervisorSpec.from_dict(data["supervisor"])
+        if "process_chaos" in data:
+            data["process_chaos"] = tuple(
+                dict(entry) for entry in data["process_chaos"]
+            )
         return cls(**data)
 
     @classmethod

@@ -8,12 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.scale.arena import (
+    ArenaFrameError,
     ArenaFullError,
     RingBuffer,
     SharedArena,
     payload_nbytes,
     payload_watermark,
     read_payload,
+    validate_descriptor,
     write_payload,
 )
 
@@ -211,3 +213,75 @@ class TestSharedArena:
         finally:
             arena.close()
             arena.unlink()
+
+
+class TestValidateDescriptor:
+    """Descriptor bounds checks: corrupted frames never reach pickle."""
+
+    def test_accepts_every_legitimate_frame(self):
+        ring = _ring(4096)
+        released = 0
+        for payload in [b"x" * 100, {"k": np.arange(64)}, list(range(50))]:
+            descriptor = write_payload(ring, payload)
+            assert validate_descriptor(ring, descriptor, released) is descriptor
+            released = payload_watermark(descriptor)
+            ring.release_until(released)
+
+    def test_accepts_wrap_padded_frame_beyond_one_capacity(self):
+        # A frame written after wrap padding may carry a watermark up to
+        # (but never reaching) released + 2*capacity.
+        ring = _ring(128)
+        first = write_payload(ring, b"a" * 80)
+        released = payload_watermark(first)
+        ring.release_until(released)
+        second = write_payload(ring, b"b" * 90)  # wraps: mark > released+128
+        assert payload_watermark(second) - released > ring.capacity
+        validate_descriptor(ring, second, released)
+
+    @pytest.mark.parametrize(
+        "descriptor",
+        [
+            None,
+            (1, 2, 3),
+            ((0, 8),),
+            ((0, 8, 8), None),
+            ((0.5, 8, 8), ()),
+            ((0, True, 8), ()),
+            "garbage",
+        ],
+    )
+    def test_rejects_malformed_shapes(self, descriptor):
+        ring = _ring(64)
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, descriptor)
+
+    def test_rejects_out_of_ring_extents(self):
+        ring = _ring(64)
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((0, 65, 65), ()))  # too long
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((-1, 8, 8), ()))  # negative offset
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((0, 8, 8), ((60, 8, 8),)))  # oob extent
+
+    def test_rejects_stale_and_far_future_watermarks(self):
+        ring = _ring(64)
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((0, 8, 8), ()), released=8)  # stale
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((0, 8, 200), ()), released=8)  # future
+
+    def test_rejects_empty_in_band_frame(self):
+        ring = _ring(64)
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, ((0, 0, 8), ()))
+
+    def test_corrupt_descriptor_helper_is_always_rejected(self):
+        from repro.faults.process import corrupt_descriptor
+
+        ring = _ring(4096)
+        descriptor = write_payload(ring, {"iq": np.arange(128)})
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, corrupt_descriptor(descriptor))
+        with pytest.raises(ArenaFrameError):
+            validate_descriptor(ring, corrupt_descriptor(None))
