@@ -55,6 +55,7 @@ from repro.scale.spec import (
     SupervisorSpec,
     UeSpec,
 )
+from repro.serve.delta import DeltaOp, SpecDelta
 
 # -- wire-object strategies ---------------------------------------------------
 
@@ -389,3 +390,125 @@ def scenario_specs(draw, max_cells: int = 4) -> ScenarioSpec:
             for _ in range(draw(st.integers(min_value=0, max_value=2)))
         ),
     )
+
+
+# -- live-mutation (SpecDelta) strategies -------------------------------------
+
+#: Stages any single cell can legally carry with default params — the
+#: vocabulary deltas draw rechains and admitted-cell chains from.
+SAFE_DELTA_STAGES = ("passthrough", "prb_monitor")
+
+#: Deterministic, parameter-complete wire faults a delta may inject.
+SAFE_DELTA_FAULTS = (
+    {"kind": "iid_loss", "rate": 0.2, "seed": 3},
+    {"kind": "duplicate", "rate": 0.5},
+    {"kind": "reorder", "rate": 0.3, "seed": 5},
+)
+
+
+def _delta_group(cell: dict) -> str:
+    return cell.get("group") or cell["name"]
+
+
+@st.composite
+def delta_cell_dicts(draw, name: str) -> dict:
+    """A small, always-buildable tenant cell for ``add_cell`` ops."""
+    return {
+        "name": name,
+        "pci": draw(st.integers(min_value=100, max_value=503)),
+        "bandwidth_hz": 20_000_000,
+        "rus": [{"name": f"{name}-ru1"}],
+        "ues": [
+            {
+                "ue_id": f"{name}-ue",
+                "flows": [
+                    {
+                        "kind": "cbr",
+                        "rate_mbps": draw(st.sampled_from([5, 10, 15])),
+                        "direction": draw(st.sampled_from(["dl", "ul"])),
+                    }
+                ],
+            }
+        ],
+        "chain": [{"stage": draw(st.sampled_from(SAFE_DELTA_STAGES))}],
+    }
+
+
+@st.composite
+def delta_chains(draw) -> tuple:
+    """A replacement chain for ``rechain``: 0..2 safe stages."""
+    stages = draw(
+        st.lists(st.sampled_from(SAFE_DELTA_STAGES), min_size=0, max_size=2)
+    )
+    return tuple({"stage": stage} for stage in stages)
+
+
+@st.composite
+def spec_deltas(draw, spec: ScenarioSpec, max_ops: int = 4) -> SpecDelta:
+    """An incrementally-valid :class:`~repro.serve.delta.SpecDelta`.
+
+    The strategy tracks the evolving cell population while drawing, so
+    every op in the batch is legal *at its position* — a delta may admit
+    a cell and immediately rechain or impair it.  Two deliberate
+    restrictions keep drawn deltas applicable to any base spec:
+    ``remove_cell`` only targets cells the same delta added (the base
+    deployment stays intact for oracle replays), and ``inject_fault``
+    only targets cells whose coupling group carries no access wire (the
+    one-wire-per-group build invariant).
+    """
+    cells = {cell["name"]: dict(cell) for cell in spec.to_dict()["cells"]}
+    added: list = []
+    ops: list = []
+    for index in range(draw(st.integers(min_value=1, max_value=max_ops))):
+        wired_groups = {
+            _delta_group(cell)
+            for cell in cells.values()
+            if cell.get("wire") is not None
+        }
+        injectable = [
+            name
+            for name, cell in cells.items()
+            if _delta_group(cell) not in wired_groups
+        ]
+        clearable = [
+            name
+            for name, cell in cells.items()
+            if cell.get("wire") is not None
+        ]
+        choices = ["add_cell", "rechain"]
+        if added:
+            choices.append("remove_cell")
+        if injectable:
+            choices.append("inject_fault")
+        if clearable:
+            choices.append("clear_fault")
+        kind = draw(st.sampled_from(choices))
+        if kind == "add_cell":
+            name = f"delta-{index}-{draw(st.integers(0, 999))}"
+            while name in cells:  # pragma: no cover - pci space is huge
+                name += "x"
+            cell = draw(delta_cell_dicts(name=name))
+            ops.append(DeltaOp(op="add_cell", cell=cell))
+            cells[name] = cell
+            added.append(name)
+        elif kind == "remove_cell":
+            target = draw(st.sampled_from(added))
+            ops.append(DeltaOp(op="remove_cell", target=target))
+            del cells[target]
+            added.remove(target)
+        elif kind == "rechain":
+            target = draw(st.sampled_from(sorted(cells)))
+            chain = draw(delta_chains())
+            ops.append(DeltaOp(op="rechain", target=target, chain=chain))
+            cells[target]["chain"] = [dict(stage) for stage in chain]
+        elif kind == "inject_fault":
+            target = draw(st.sampled_from(injectable))
+            fault = dict(draw(st.sampled_from(SAFE_DELTA_FAULTS)))
+            ops.append(DeltaOp(op="inject_fault", target=target, fault=fault))
+            cells[target]["wire"] = fault
+        else:
+            target = draw(st.sampled_from(clearable))
+            ops.append(DeltaOp(op="clear_fault", target=target))
+            cells[target]["wire"] = None
+    name = draw(st.sampled_from(["", "drawn-delta"]))
+    return SpecDelta(ops=tuple(ops), name=name)

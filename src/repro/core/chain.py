@@ -14,7 +14,6 @@ propagation (how modelled latency accumulates along the chain).
 from __future__ import annotations
 
 import enum
-import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -571,21 +570,6 @@ class MiddleboxChain:
         if not boxes:
             return list(packets)
         return self._run(packets, boxes, "UL")
-
-    def process_uplink_from(
-        self, stage: int, packets: List[FronthaulPacket]
-    ) -> List[FronthaulPacket]:
-        """Deprecated alias for ``process_uplink(packets, source=stage)``.
-
-        The unified entrypoint subsumes this one; the alias keeps the old
-        calling convention alive for external callers one release."""
-        warnings.warn(
-            "MiddleboxChain.process_uplink_from is deprecated; use "
-            "process_uplink(packets, source=stage)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.process_uplink(packets, source=stage)
 
     def total_processing_ns(self) -> float:
         return sum(m.stats.processing_ns_total for m in self.middleboxes)

@@ -27,6 +27,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.fig16 import run_fig16
     from repro.eval.obs_top import run_obs_top
     from repro.eval.scale import run_scale, write_bench
+    from repro.eval.serve import run as run_serve_eval
     from repro.eval.table2 import run_table2
 
     def _scale() -> str:
@@ -54,6 +55,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "conformance": lambda: run_conformance().format(),
         "obs-top": lambda: run_obs_top().format(),
         "scale": _scale,
+        "serve": lambda: run_serve_eval().format(),
     }
 
 

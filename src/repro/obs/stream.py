@@ -235,6 +235,11 @@ class TelemetryStream:
         self.spans_dropped: Dict[str, int] = {}
         self.frames_checked = 0
         self.conformance_counts: Dict[str, int] = {}
+        #: Per-group conformance accumulation (group -> {"frames_checked",
+        #: "violations", "counts"}) — the live control plane routes
+        #: conformance telemetry to per-cell subscribers from here; the
+        #: scenario-wide totals above are unchanged.
+        self.group_conformance: Dict[str, Dict[str, Any]] = {}
         self.worker_restarts_total = 0
         self._pending_restarts = 0
         self._final = False
@@ -303,10 +308,19 @@ class TelemetryStream:
         frames = delta.get("frames_checked", 0)
         self.frames_checked += frames
         violations = 0
+        per_group = self.group_conformance.setdefault(
+            payload["group"],
+            {"frames_checked": 0, "violations": 0, "counts": {}},
+        )
+        per_group["frames_checked"] += frames
         for kind, count in delta.get("counts", {}).items():
             self.conformance_counts[kind] = (
                 self.conformance_counts.get(kind, 0) + count
             )
+            per_group["counts"][kind] = (
+                per_group["counts"].get(kind, 0) + count
+            )
+            per_group["violations"] += count
             violations += count
         return frames, violations
 

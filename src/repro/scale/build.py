@@ -171,7 +171,7 @@ def build_group(
             spec,
             cell,
             du_id=spec.cell_index(cell.name) + 1,
-            ru_id_base=_ru_id_base(spec, cell),
+            ru_id_base=spec.ru_id_base(cell.name),
         )
         for cell in members
     ]
@@ -241,16 +241,6 @@ def build_group(
         accountant=accountant,
         validator=validator,
     )
-
-
-def _ru_id_base(spec: ScenarioSpec, cell: CellSpec) -> int:
-    """Global 1-based RU id of ``cell``'s first RU (spec-order stable)."""
-    base = 1
-    for candidate in spec.cells:
-        if candidate.name == cell.name:
-            return base
-        base += len(candidate.rus)
-    raise KeyError(f"unknown cell {cell.name!r}")
 
 
 def build_groups(

@@ -56,8 +56,8 @@ from repro.scale.arena import (
     write_payload,
 )
 from repro.scale.build import BuiltGroup, build_groups
-from repro.scale.shard import plan_shards
-from repro.scale.spec import ScenarioSpec
+from repro.scale.shard import plan_shards, rebalance_plan
+from repro.scale.spec import ScenarioSpec, assert_same_run_shape
 
 #: Default ring size per worker; collected results that outgrow it fall
 #: back to the control pipe, so this trades speed, not correctness.
@@ -134,6 +134,15 @@ def _worker_loop(
     - ``("reset", ack)`` rebuilds the groups from the spec (fresh state,
       same bytes as a new fork) and replies ``("ok", 0, 0, None,
       heartbeat)``.
+    - ``("mutate", spec_dict, names, rebuild, replay_slots, ack)``
+      rebases the worker onto a mutated spec mid-run: groups named in
+      ``rebuild`` (plus any newly assigned to this shard) are built
+      fresh from the new spec and deterministically fast-forwarded over
+      the ``replay_slots`` confirmed prefix (payloads discarded, exactly
+      like a respawn), while every other local group keeps its warm
+      state untouched.  Replies ``("ok", 0, 0, None, heartbeat)``.
+      Nothing is rebound until the new groups are built, so a build
+      failure answers ``error`` and leaves the run as it was.
     - ``("exit",)`` leaves the loop; the worker closes its mapping.
 
     The trailing heartbeat (``{"pid", "clock"}``) lets the supervised
@@ -271,6 +280,64 @@ def _worker_loop(
                 if ring is not None:
                     ring.reset()
                 conn.send(("ok", 0, 0, None, _heartbeat()))
+            elif op == "mutate":
+                new_spec = ScenarioSpec.from_dict(command[1])
+                new_names = list(command[2])
+                rebuild = set(command[3])
+                replay = command[4]
+                kept = {
+                    group.name: (group, source)
+                    for group, source in zip(
+                        groups, sources or [None] * len(groups)
+                    )
+                    if group.name in new_names and group.name not in rebuild
+                }
+                fresh_names = [
+                    name for name in new_names if name not in kept
+                ]
+                fresh = build_groups(new_spec, fresh_names)
+                _attach_engines(fresh)
+                fresh_sources = (
+                    [
+                        GroupStreamSource(
+                            group, shard=region, stream=new_spec.obs.stream
+                        )
+                        for group in fresh
+                    ]
+                    if new_spec.obs.enabled
+                    else [None] * len(fresh)
+                )
+                # Fast-forward only the rebuilt groups over the
+                # confirmed prefix, at the run's epoch cadence; the
+                # generated payloads are discarded — they describe
+                # epochs the coordinator already folded.
+                cadence = new_spec.effective_epoch_slots()
+                replayed = 0
+                while replayed < replay:
+                    step_slots = min(cadence, replay - replayed)
+                    _step_groups(fresh, step_slots)
+                    replayed += step_slots
+                    for source in fresh_sources:
+                        if source is not None:
+                            source.epoch_payload(
+                                final=replayed >= new_spec.slots
+                            )
+                by_name = dict(kept)
+                by_name.update(
+                    {
+                        group.name: (group, source)
+                        for group, source in zip(fresh, fresh_sources)
+                    }
+                )
+                spec = new_spec
+                names = new_names
+                groups = [by_name[name][0] for name in new_names]
+                sources = (
+                    [by_name[name][1] for name in new_names]
+                    if spec.obs.enabled
+                    else []
+                )
+                conn.send(("ok", 0, 0, None, _heartbeat()))
             else:
                 conn.send(("error", f"unknown command {command!r}"))
         except Exception:
@@ -348,6 +415,8 @@ class WorkerPool:
         self._closed = False
         self._dirty = False
         self._transport: Dict[str, int] = {}
+        self._done = 0
+        self._run_started = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -560,6 +629,128 @@ class WorkerPool:
             telemetry=self.telemetry if self.spec.obs.enabled else None,
         )
 
+    # -- incremental drive (the live control plane's view of a run) ----------
+
+    @property
+    def done(self) -> int:
+        """Slots confirmed by every shard so far in the current run."""
+        return self._done
+
+    def begin(self) -> "WorkerPool":
+        """Open an incrementally-driven run (fork/reset, fresh stream).
+
+        ``run()`` is ``begin()`` + ``advance_epoch()`` to the horizon +
+        ``collect()``; a live service drives the same three stages
+        itself so it can interleave barriers with control traffic —
+        :meth:`mutate` between epochs, :meth:`collect` mid-run.
+        """
+        self.start()
+        self._begin_run()
+        self._done = 0
+        self._run_started = time.perf_counter()
+        return self
+
+    def advance_epoch(self) -> bool:
+        """Run one epoch barrier; ``True`` once the horizon is done.
+
+        Telemetry payloads fold into :attr:`telemetry` exactly as in a
+        batch run — an incrementally-driven, unmutated run is
+        byte-identical to ``run()``.
+        """
+        if self._done >= self.spec.slots:
+            return True
+        epoch = self.spec.effective_epoch_slots()
+        step = min(epoch, self.spec.slots - self._done)
+        final = self._done + step >= self.spec.slots
+        payloads = self._epoch_barrier(step, final, self._done)
+        if payloads:
+            self.telemetry.fold_epoch(payloads)
+        self._done += step
+        self._transport["epochs"] += 1
+        return self._done >= self.spec.slots
+
+    def collect(self):
+        """Summarize every group as of the last barrier (mid-run safe).
+
+        Workers summarize without disturbing state, so a mid-run
+        collect observes the confirmed prefix — its digest matches a
+        from-scratch run of the same spec truncated to :attr:`done`
+        slots — and the run then continues to the horizon.
+        """
+        groups = self._collect_results()
+        wall = time.perf_counter() - self._run_started
+        return self._result(wall, groups, self.spec.effective_epoch_slots())
+
+    # -- live mutation -------------------------------------------------------
+
+    def _mutate_command(self, index: int, rebuild: List[str]) -> Tuple:
+        return (
+            "mutate",
+            self._spec_dict,
+            list(self.plan.shards[index]),
+            list(rebuild),
+            self._done,
+            self._acked[index],
+        )
+
+    def _mutate_exchange(self, rebuild: List[str]) -> None:
+        for index, conn in enumerate(self._connections):
+            conn.send(self._mutate_command(index, rebuild))
+        for index in range(len(self._connections)):
+            reply = self._recv(index)
+            if reply[0] != "ok":
+                raise RuntimeError(
+                    f"scale worker protocol error: {reply!r}"
+                )
+
+    def mutate(self, new_spec: ScenarioSpec) -> Dict[str, Any]:
+        """Rebase the live run onto a mutated spec (rebase semantics).
+
+        Only groups whose build fingerprint changed
+        (:meth:`~repro.scale.spec.ScenarioSpec.group_fingerprints`) are
+        rebuilt and deterministically fast-forwarded over the
+        :attr:`done` confirmed slots; untouched groups keep their warm
+        worker state, and no process restarts.  The run's results from
+        here on are byte-identical to a from-scratch run of the mutated
+        spec — the digest oracle survives mutation.
+
+        All validation (run-shape equality, a coordinator-side trial
+        build of every disturbed group) happens *before* any worker is
+        told anything, so a rejected mutation raises with the run
+        untouched.  Call between epochs only — the mutation lands at
+        the next barrier.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("mutate() needs a started, open pool")
+        assert_same_run_shape(self.spec, new_spec)
+        old_fp = self.spec.group_fingerprints()
+        new_fp = new_spec.group_fingerprints()
+        rebuild = [
+            name for name, fp in new_fp.items() if old_fp.get(name) != fp
+        ]
+        removed = [name for name in old_fp if name not in new_fp]
+        outcome = {
+            "rebuilt": list(rebuild),
+            "removed": list(removed),
+            "replayed_slots": self._done if rebuild else 0,
+        }
+        if rebuild:
+            # Trial build: user-level build errors (a stage factory
+            # rejecting its params, say) surface here as a clean
+            # rejection instead of as a poisoned shard mid-run.
+            build_groups(new_spec, rebuild)
+        if not rebuild and not removed:
+            self.spec = new_spec
+            self._spec_dict = new_spec.to_dict()
+            return outcome
+        self.plan = rebalance_plan(self.plan, new_spec)
+        self.spec = new_spec
+        self._spec_dict = new_spec.to_dict()
+        self._mutate_exchange(rebuild)
+        return outcome
+
+    # -- batch execution -----------------------------------------------------
+
     def run(self):
         """Execute the spec's horizon once; see module docstring.
 
@@ -567,26 +758,15 @@ class WorkerPool:
         exception between barriers — closes the pool (workers joined,
         segment unlinked) before propagating.
         """
-        self.start()
         try:
-            started = time.perf_counter()
-            self._begin_run()
-            epoch = self.spec.effective_epoch_slots()
-            done = 0
-            while done < self.spec.slots:
-                step = min(epoch, self.spec.slots - done)
-                final = done + step >= self.spec.slots
-                payloads = self._epoch_barrier(step, final, done)
-                if payloads:
-                    self.telemetry.fold_epoch(payloads)
-                done += step
-                self._transport["epochs"] += 1
-            groups = self._collect_results()
-            wall = time.perf_counter() - started
+            self.begin()
+            while not self.advance_epoch():
+                pass
+            result = self.collect()
         except Exception:
             self.close()
             raise
-        return self._result(wall, groups, epoch)
+        return result
 
 
 __all__ = ["DEFAULT_ARENA_BYTES", "JOIN_TIMEOUT_S", "WorkerPool"]

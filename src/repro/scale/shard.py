@@ -66,3 +66,44 @@ def plan_shards(spec: ScenarioSpec, workers: int) -> ShardPlan:
     for names in plan.shards:
         names.sort(key=declaration.__getitem__)
     return plan
+
+
+def rebalance_plan(plan: ShardPlan, spec: ScenarioSpec) -> ShardPlan:
+    """Adapt ``plan`` to a mutated ``spec`` without moving live groups.
+
+    The live control plane mutates a *running* scenario, and a running
+    group is warm state on a specific worker — moving it would force a
+    rebuild-and-replay for a group the delta never touched.  So unlike
+    :func:`plan_shards` this keeps every surviving group exactly where
+    it is, drops evicted groups, and places only the *new* groups
+    (heaviest first onto the lightest shard, name tie-breaks).  The
+    worker count is fixed: the pool's processes already exist.
+
+    Deterministic like everything else in the shard layer: the same
+    (plan, spec) pair always yields the same rebalanced plan.
+    """
+    grouped = spec.groups()
+    shards = [
+        [name for name in names if name in grouped]
+        for names in plan.shards
+    ]
+    placed = {name for names in shards for name in names}
+    loads = [
+        sum(len(grouped[name]) for name in names) for names in shards
+    ]
+    fresh = sorted(
+        (name for name in grouped if name not in placed),
+        key=lambda name: (-len(grouped[name]), name),
+    )
+    for name in fresh:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(name)
+        loads[lightest] += len(grouped[name])
+    declaration = {name: i for i, name in enumerate(grouped)}
+    for names in shards:
+        names.sort(key=declaration.__getitem__)
+    rebalanced = ShardPlan(shards=shards)
+    for name, members in grouped.items():
+        if len(members) > 1:
+            rebalanced.touchpoints[name] = [cell.name for cell in members]
+    return rebalanced

@@ -23,6 +23,7 @@ configuration.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -268,6 +269,30 @@ class SupervisorSpec:
         return cls(**data)
 
 
+def assert_same_run_shape(old: "ScenarioSpec", new: "ScenarioSpec") -> None:
+    """Reject mutations that change anything but the cell population.
+
+    Live delta application (:meth:`~repro.scale.pool.WorkerPool.mutate`)
+    rebases *cells* onto a running horizon; the run's own shape — slots,
+    seeds, barrier cadence, observability plane, supervision policy —
+    must stay fixed, because epochs already confirmed were produced
+    under it.  Raises ``ValueError`` naming the offending fields.
+    """
+    old_data = old.to_dict()
+    new_data = new.to_dict()
+    old_data.pop("cells")
+    new_data.pop("cells")
+    changed = sorted(
+        key
+        for key in set(old_data) | set(new_data)
+        if old_data.get(key) != new_data.get(key)
+    )
+    if changed:
+        raise ValueError(
+            f"live mutation may only change cells; these differ: {changed}"
+        )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A complete multi-cell deployment description."""
@@ -353,6 +378,43 @@ class ScenarioSpec:
         """The barrier cadence a run actually uses: ``epoch_slots``,
         else ``batch_slots``, else the whole horizon (free-run)."""
         return self.epoch_slots or self.batch_slots or self.slots
+
+    def ru_id_base(self, cell_name: str) -> int:
+        """Global 1-based RU id of the cell's first RU (spec-order stable)."""
+        base = 1
+        for candidate in self.cells:
+            if candidate.name == cell_name:
+                return base
+            base += len(candidate.rus)
+        raise KeyError(f"unknown cell {cell_name!r}")
+
+    def group_fingerprints(self) -> Dict[str, str]:
+        """Build-identity fingerprint of every coupling group.
+
+        Two specs whose fingerprints agree for a group build
+        byte-identical live objects for it: the fingerprint covers each
+        member cell's full plain-data description *and* every derived
+        identity the builder consumes — global cell index (du_id),
+        global RU id base, and the effective per-cell seed.  Live
+        mutation (:mod:`repro.serve.delta`) uses this to decide which
+        groups a delta actually disturbs: only groups whose fingerprint
+        changed are rebuilt and replayed, everything else keeps running
+        untouched.
+        """
+        fingerprints: Dict[str, str] = {}
+        for name, members in self.groups().items():
+            payload = [
+                {
+                    "cell": asdict(cell),
+                    "index": self.cell_index(cell.name),
+                    "ru_id_base": self.ru_id_base(cell.name),
+                    "seed": self.cell_seed(cell),
+                }
+                for cell in members
+            ]
+            canonical = json.dumps(payload, sort_keys=True)
+            fingerprints[name] = hashlib.sha256(canonical.encode()).hexdigest()
+        return fingerprints
 
     def chaos_specs(self):
         """The parsed process-chaos injections (deferred import, like

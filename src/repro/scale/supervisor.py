@@ -443,7 +443,10 @@ class SupervisedWorkerPool(WorkerPool):
                 )
 
     def _collect_results(self) -> Dict[str, Any]:
-        done = self.spec.slots
+        # The confirmed prefix, not the horizon: a mid-run collect from
+        # the live control plane must not make a recovery replay slots
+        # nobody has run yet.
+        done = self._done
         for index in range(len(self._connections)):
             self._issue(
                 index, lambda i: ("collect", self._acked[i]), done
@@ -468,6 +471,29 @@ class SupervisedWorkerPool(WorkerPool):
                 self._issue(
                     index, lambda i: ("collect", self._acked[i]), done
                 )
+
+    def _mutate_exchange(self, rebuild: List[str]) -> None:
+        """Deadline-guarded mutate barrier.
+
+        The coordinator commits the mutated spec and plan *before* this
+        exchange, so a worker that fails here is simply recovered: the
+        respawn rebuilds every local group from the already-mutated
+        spec and fast-forwards the confirmed prefix — it needs no
+        mutate command of its own.
+        """
+        done = self._done
+        for index in range(len(self._connections)):
+            self._issue(
+                index, lambda i: self._mutate_command(i, rebuild), done
+            )
+        for index in range(len(self._connections)):
+            try:
+                reply = self._recv_deadline(
+                    index, self._barrier_timeout(done)
+                )
+                self._check_reply(index, reply, expect="ok", length=5)
+            except WorkerFailure as failure:
+                self._recover(index, failure, done)
 
     def _result(self, wall: float, groups: Dict[str, Any], epoch: int):
         result = super()._result(wall, groups, epoch)

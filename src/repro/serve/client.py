@@ -1,0 +1,181 @@
+"""`ServeClient`: the convenience API for driving a control service.
+
+An asyncio client in the idiom of the everynet RAN routing pyclient: a
+connection manager that demultiplexes the session's two inbound stream
+shapes — acks, matched to requests by correlation id, and subscribed
+telemetry events, buffered in an inbound queue the caller consumes at
+its own pace::
+
+    client = await ServeClient.connect("127.0.0.1", port)
+    hello = await client.hello()
+    await client.subscribe(["epochs", "alerts"])
+    await client.apply(SpecDelta(ops=(DeltaOp(op="add_cell", cell=...),)))
+    await client.step(epochs=2)
+    alert = await client.wait_for_event("alerts", timeout=5.0)
+    digest = (await client.collect())["digest"]
+    await client.close()
+
+A rejected request raises :class:`RequestRejected` carrying the
+service's error string; the session — and the run — live on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.serve.delta import SpecDelta
+from repro.serve.protocol import read_frame, write_frame
+
+
+class RequestRejected(RuntimeError):
+    """The service acked a request with ``ok: false``."""
+
+    def __init__(self, op: str, error: str):
+        super().__init__(f"{op} rejected: {error}")
+        self.op = op
+        self.error = error
+
+
+class ServeClient:
+    """One control session, client side."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self.events: asyncio.Queue = asyncio.Queue()
+        self._pump = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if "event" in frame:
+                    self.events.put_nowait(frame)
+                    continue
+                waiter = self._waiters.pop(frame.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+        except (EOFError, ValueError, ConnectionError, OSError) as exc:
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        ConnectionError(f"session closed: {exc}")
+                    )
+            self._waiters.clear()
+
+    async def request(self, op: str, **payload: Any) -> Dict[str, Any]:
+        """Send one request; return its ack body (sans envelope)."""
+        request_id = next(self._ids)
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = waiter
+        await write_frame(
+            self._writer, {"id": request_id, "op": op, **payload}
+        )
+        ack = await waiter
+        if not ack.get("ok"):
+            raise RequestRejected(op, ack.get("error", "unknown error"))
+        return {
+            key: value
+            for key, value in ack.items()
+            if key not in ("id", "ok")
+        }
+
+    # -- the control verbs ---------------------------------------------------
+
+    async def hello(self) -> Dict[str, Any]:
+        return await self.request("hello")
+
+    async def status(self) -> Dict[str, Any]:
+        return await self.request("status")
+
+    async def routes(self, cell: Optional[str] = None) -> Dict[str, Any]:
+        if cell is None:
+            return await self.request("routes")
+        return await self.request("routes", cell=cell)
+
+    async def subscribe(
+        self, topics: Optional[List[str]] = None
+    ) -> List[str]:
+        payload = {} if topics is None else {"topics": topics}
+        return (await self.request("subscribe", **payload))["subscribed"]
+
+    async def unsubscribe(
+        self, topics: Optional[List[str]] = None
+    ) -> List[str]:
+        payload = {} if topics is None else {"topics": topics}
+        return (await self.request("unsubscribe", **payload))["subscribed"]
+
+    async def apply(self, delta: SpecDelta) -> Dict[str, Any]:
+        """Apply a live mutation; returns the applied-outcome journal."""
+        ack = await self.request("apply", delta=delta.to_dict())
+        return ack["applied"]
+
+    async def step(self, epochs: int = 1) -> Dict[str, Any]:
+        return await self.request("step", epochs=epochs)
+
+    async def collect(self) -> Dict[str, Any]:
+        return await self.request("collect")
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request("shutdown")
+
+    # -- event consumption ---------------------------------------------------
+
+    async def next_event(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        if timeout is None:
+            return await self.events.get()
+        return await asyncio.wait_for(self.events.get(), timeout=timeout)
+
+    async def wait_for_event(
+        self,
+        topic: str,
+        timeout: float = 30.0,
+        predicate=None,
+    ) -> Dict[str, Any]:
+        """The next event on ``topic`` matching ``predicate`` (if any).
+
+        Events on other topics are *not* discarded silently — they are
+        simply consumed; callers interleaving topics should drain
+        :attr:`events` themselves.
+        """
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no {topic!r} event within {timeout}s"
+                )
+            frame = await self.next_event(timeout=remaining)
+            if frame["event"] != topic:
+                continue
+            if predicate is not None and not predicate(frame["data"]):
+                continue
+            return frame
+
+    async def close(self) -> None:
+        self._pump.cancel()
+        try:
+            await self._pump
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+__all__ = ["RequestRejected", "ServeClient"]

@@ -1,0 +1,120 @@
+"""Length-prefixed JSON framing for control sessions.
+
+The control plane speaks a deliberately boring wire format — the same
+one the everynet RAN routing client uses and the same one the scale
+pool's pipe protocol approximates: each frame is a 4-byte big-endian
+length followed by that many bytes of UTF-8 JSON.  Boring is the point:
+a frame boundary never depends on payload content, a partial read is
+detected structurally, and any language can speak it in twenty lines.
+
+Two frame shapes travel each direction:
+
+- **Requests** (client -> service): ``{"id": n, "op": "...", ...}`` —
+  ``id`` is a client-chosen correlation number, ``op`` selects the
+  operation, remaining keys are operands.
+- **Responses** (service -> client): ``{"id": n, "ok": true, ...}`` or
+  ``{"id": n, "ok": false, "error": "..."}`` — every request is acked
+  exactly once, errors are values, and the session survives a rejected
+  request (rollback is the engine's job, reporting is the protocol's).
+- **Events** (service -> client, unsolicited): ``{"event": "topic",
+  "seq": n, "data": {...}}`` — pushed to subscribed sessions between
+  acks; ``seq`` is a per-session monotone counter so a client can
+  detect its own missed reads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames past this size — a control message is kilobytes; a
+#: megabyte frame is a protocol error, not a big request.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized, truncated, or not a JSON object."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + compact sorted-key JSON."""
+    if not isinstance(message, dict):
+        raise FrameError(f"frames carry JSON objects, got {type(message)}")
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError("frame body must be a JSON object")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one frame; raises ``EOFError`` on clean connection close.
+
+    A close *inside* a frame (header or body truncated) is a
+    :class:`FrameError` — the peer vanished mid-sentence.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed") from exc
+        raise FrameError("connection closed inside a frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed inside a frame body") from exc
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def response(request_id: Any, **result: Any) -> Dict[str, Any]:
+    """A success ack for ``request_id``."""
+    return {"id": request_id, "ok": True, **result}
+
+
+def error_response(request_id: Any, error: str) -> Dict[str, Any]:
+    """A failure ack: the request was rejected, the session lives on."""
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def event(topic: str, seq: int, data: Any) -> Dict[str, Any]:
+    """An unsolicited push to a subscribed session."""
+    return {"event": topic, "seq": seq, "data": data}
+
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "decode_body",
+    "encode_frame",
+    "error_response",
+    "event",
+    "read_frame",
+    "response",
+    "write_frame",
+]

@@ -1,0 +1,156 @@
+"""The control plane's routing table: streams -> middlebox chains.
+
+RANBooster's service model is a *routing* one: the fronthaul switch
+steers each eAxC stream through a tenant's middlebox chain, and the
+operator's control plane is the thing that knows — at any moment —
+which (cell, stream) pair lands on which chain on which worker.  The
+:class:`RoutingTable` is that knowledge as plain data, derived
+deterministically from the running :class:`~repro.scale.spec.
+ScenarioSpec` and :class:`~repro.scale.shard.ShardPlan`: one
+:class:`Route` per RU eAxC stream and per UE flow, keyed by
+``(cell, stream)``.
+
+The table is immutable and versioned.  Every applied
+:class:`~repro.serve.delta.SpecDelta` produces a new table with a
+bumped ``version``; sessions that cached a lookup can cheaply detect
+staleness, and the scripted eval asserts the exact version sequence a
+known mutation script produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.scale.shard import ShardPlan
+from repro.scale.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class Route:
+    """Where one stream of one cell goes.
+
+    ``stream`` is ``"eaxc:<ru_id>"`` for an RU's fronthaul stream (the
+    global 1-based RU id is the eAxC RU-port the deployment assigns the
+    radio) or ``"flow:<ue_id>/<flow>"`` for a scheduled traffic flow.
+    ``chain`` is the *group's* chain — the stage names every packet of
+    this stream traverses, cell-contributed stages in declaration
+    order — and ``worker`` is the shard index executing it.
+    """
+
+    cell: str
+    stream: str
+    group: str
+    worker: int
+    chain: Tuple[str, ...]
+    wire_fault: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.cell, self.stream)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "stream": self.stream,
+            "group": self.group,
+            "worker": self.worker,
+            "chain": list(self.chain),
+            "wire_fault": self.wire_fault,
+        }
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Immutable (cell, stream) -> :class:`Route` map, versioned."""
+
+    version: int
+    routes: Tuple[Route, ...]
+    _index: Dict[Tuple[str, str], Route] = field(
+        init=False, default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_index", {route.key: route for route in self.routes}
+        )
+
+    @classmethod
+    def from_spec(
+        cls, spec: ScenarioSpec, plan: ShardPlan, version: int = 0
+    ) -> "RoutingTable":
+        """Derive the table for a (spec, shard-plan) pair.
+
+        Deterministic: routes appear in spec declaration order (cells,
+        then each cell's RUs, then its UE flows), so two coordinators
+        holding the same spec and plan serve identical tables.
+        """
+        routes: List[Route] = []
+        for group_name, members in spec.groups().items():
+            worker = plan.shard_of(group_name)
+            chain = tuple(
+                stage.stage for cell in members for stage in cell.chain
+            )
+            wired = next(
+                (cell for cell in members if cell.wire is not None), None
+            )
+            fault = wired.wire.get("kind") if wired is not None else None
+            for cell in members:
+                base = spec.ru_id_base(cell.name)
+                for offset, _ru in enumerate(cell.rus):
+                    routes.append(
+                        Route(
+                            cell=cell.name,
+                            stream=f"eaxc:{base + offset}",
+                            group=group_name,
+                            worker=worker,
+                            chain=chain,
+                            wire_fault=fault,
+                        )
+                    )
+                for ue in cell.ues:
+                    for flow in ue.flows:
+                        label = flow.name or f"{flow.kind}-{flow.direction}"
+                        routes.append(
+                            Route(
+                                cell=cell.name,
+                                stream=f"flow:{ue.ue_id}/{label}",
+                                group=group_name,
+                                worker=worker,
+                                chain=chain,
+                                wire_fault=fault,
+                            )
+                        )
+        return cls(version=version, routes=tuple(routes))
+
+    def lookup(self, cell: str, stream: str) -> Route:
+        try:
+            return self._index[(cell, stream)]
+        except KeyError:
+            raise KeyError(
+                f"no route for ({cell!r}, {stream!r}); "
+                f"{len(self.routes)} routes at version {self.version}"
+            ) from None
+
+    def routes_for_cell(self, cell: str) -> List[Route]:
+        return [route for route in self.routes if route.cell == cell]
+
+    @property
+    def cells(self) -> List[str]:
+        seen: List[str] = []
+        for route in self.routes:
+            if route.cell not in seen:
+                seen.append(route.cell)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "routes": [route.to_dict() for route in self.routes],
+        }
+
+
+__all__ = ["Route", "RoutingTable"]

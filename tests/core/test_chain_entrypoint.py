@@ -1,4 +1,10 @@
-"""The unified ``process_uplink`` entrypoint and its deprecated alias."""
+"""The unified ``process_uplink`` entrypoint (the only uplink entrypoint).
+
+The ``process_uplink_from`` alias PR 4 deprecated is gone: in-repo
+callers migrated then, CI has run ``-W error::DeprecationWarning`` since,
+and this suite pins both that the attribute no longer exists and that a
+full network slot stays warning-clean.
+"""
 
 import warnings
 
@@ -101,24 +107,12 @@ class TestProcessUplink:
         assert out == packets and out is not packets
 
 
-class TestDeprecatedAlias:
-    def test_alias_warns_and_delegates(self):
-        log = []
-        chain, _ = make_chain(log)
-        with pytest.warns(DeprecationWarning, match="process_uplink"):
-            chain.process_uplink_from(1, [ul_packet()])
-        assert log == ["first"]
-
-    def test_alias_matches_new_entrypoint(self):
-        log_old, log_new = [], []
-        chain_old, _ = make_chain(log_old)
-        chain_new, _ = make_chain(log_new)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = chain_old.process_uplink_from(2, [ul_packet()])
-        new = chain_new.process_uplink([ul_packet()], source=2)
-        assert log_old == log_new
-        assert len(old) == len(new)
+class TestAliasRemoved:
+    def test_deprecated_alias_is_gone(self):
+        """The PR 4 migration window is closed: the alias must not
+        linger as silent API surface."""
+        chain, _ = make_chain([])
+        assert not hasattr(chain, "process_uplink_from")
 
     def test_no_repo_code_triggers_the_warning(self):
         """In-repo callers are migrated: a full network slot under

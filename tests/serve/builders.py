@@ -1,0 +1,85 @@
+"""Small, fast scenarios for the control-plane suite.
+
+Every builder returns plain dicts / :class:`~repro.scale.spec.
+ScenarioSpec` objects sized for sub-second pool runs: a handful of
+slots, one RU and one flow per cell, short epochs.  The serve layer's
+oracles are digest equalities, so tiny horizons prove as much as long
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.scale.spec import ScenarioSpec
+
+
+def cell_dict(
+    name: str,
+    pci: int,
+    rate_mbps: float = 20,
+    direction: str = "dl",
+    group: Optional[str] = None,
+    wire: Optional[Dict[str, Any]] = None,
+    chain: Sequence[str] = ("passthrough",),
+) -> Dict[str, Any]:
+    cell: Dict[str, Any] = {
+        "name": name,
+        "pci": pci,
+        "bandwidth_hz": 20_000_000,
+        "rus": [{"name": f"{name}-ru1"}],
+        "ues": [
+            {
+                "ue_id": f"{name}-ue",
+                "flows": [
+                    {
+                        "kind": "cbr",
+                        "rate_mbps": rate_mbps,
+                        "direction": direction,
+                    }
+                ],
+            }
+        ],
+        "chain": [{"stage": stage} for stage in chain],
+    }
+    if group is not None:
+        cell["group"] = group
+    if wire is not None:
+        cell["wire"] = wire
+    return cell
+
+
+def make_spec(
+    slots: int = 12,
+    epoch_slots: int = 3,
+    seed: int = 5,
+    obs: bool = False,
+    slo: Sequence[Dict[str, Any]] = (),
+    cells: Optional[Sequence[Dict[str, Any]]] = None,
+) -> ScenarioSpec:
+    """Two singleton anchor cells by default; obs plane opt-in."""
+    if cells is None:
+        cells = [
+            cell_dict("anchor-a", pci=1, rate_mbps=30, direction="dl"),
+            cell_dict("anchor-b", pci=2, rate_mbps=20, direction="ul"),
+        ]
+    data: Dict[str, Any] = {
+        "name": "serve-test",
+        "slots": slots,
+        "epoch_slots": epoch_slots,
+        "seed": seed,
+        "cells": list(cells),
+    }
+    if obs or slo:
+        data["obs"] = {
+            "enabled": True,
+            "stream": True,
+            "conformance": True,
+            "slo": [dict(entry) for entry in slo],
+        }
+    return ScenarioSpec.from_dict(data)
+
+
+def tenant_dict(chain: Sequence[str] = ("passthrough",)) -> Dict[str, Any]:
+    return cell_dict("tenant", pci=7, rate_mbps=15, direction="ul",
+                     chain=chain)

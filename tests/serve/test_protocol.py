@@ -1,0 +1,106 @@
+"""The control wire format: length-prefixed JSON frames.
+
+Framing bugs are the classic control-plane failure mode (a partial read
+mistaken for a frame, an attacker-sized length prefix, concatenated
+frames blurring together), so the suite drives the real asyncio stream
+helpers over hand-built byte sequences — clean closes, mid-frame
+closes, oversize declarations, and back-to-back frames on one stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_body,
+    encode_frame,
+    error_response,
+    event,
+    read_frame,
+    response,
+)
+
+
+def reader_with(payload: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+def read_all(payload: bytes, frames: int):
+    async def drive():
+        reader = reader_with(payload)
+        return [await read_frame(reader) for _ in range(frames)]
+
+    return asyncio.run(drive())
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        message = {"id": 4, "op": "apply", "delta": {"ops": []}}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == message
+
+    def test_encoding_is_canonical(self):
+        """Sorted keys, no whitespace — two peers building the same
+        message emit the same bytes."""
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+        assert b[4:] == b'{"a":2,"b":1}'
+
+    def test_non_object_payloads_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame(["not", "an", "object"])
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_body(b"[1,2]")
+        with pytest.raises(FrameError, match="not JSON"):
+            decode_body(b"\xff\xfe")
+
+
+class TestReading:
+    def test_consecutive_frames_stay_separate(self):
+        payload = encode_frame({"id": 1}) + encode_frame({"id": 2})
+        assert read_all(payload, 2) == [{"id": 1}, {"id": 2}]
+
+    def test_clean_close_is_eof(self):
+        with pytest.raises(EOFError):
+            read_all(b"", 1)
+
+    def test_close_inside_header_is_a_frame_error(self):
+        with pytest.raises(FrameError, match="frame header"):
+            read_all(b"\x00\x00", 1)
+
+    def test_close_inside_body_is_a_frame_error(self):
+        frame = encode_frame({"id": 1})
+        with pytest.raises(FrameError, match="frame body"):
+            read_all(frame[:-2], 1)
+
+    def test_oversize_declaration_rejected_before_reading(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="exceeds limit"):
+            read_all(header, 1)
+
+
+class TestMessageShapes:
+    def test_ack_shapes(self):
+        ok = response(7, digest="abc")
+        assert ok == {"id": 7, "ok": True, "digest": "abc"}
+        bad = error_response(7, "unknown cell")
+        assert bad == {"id": 7, "ok": False, "error": "unknown cell"}
+
+    def test_event_shape(self):
+        pushed = event("alerts", 3, {"name": "slo"})
+        assert pushed == {"event": "alerts", "seq": 3,
+                          "data": {"name": "slo"}}
+        # Events are JSON-safe by construction.
+        assert json.loads(encode_frame(pushed)[4:].decode()) == pushed

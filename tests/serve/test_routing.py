@@ -1,0 +1,139 @@
+"""RoutingTable derivation and the warm-state-preserving rebalance.
+
+The table is the control plane's *read* surface: every (cell, stream)
+pair maps to the group chain and worker executing it, derived
+deterministically from (spec, shard plan).  The rebalance tests pin the
+live-mutation placement policy: surviving groups never move (their
+worker state is warm), evicted groups vanish, and admitted groups land
+on the lightest shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scale.shard import plan_shards, rebalance_plan
+from repro.scale.spec import ScenarioSpec
+from repro.serve.delta import DeltaOp, SpecDelta
+from repro.serve.routing import Route, RoutingTable
+from tests.serve.builders import cell_dict, make_spec, tenant_dict
+
+
+def table(spec: ScenarioSpec, workers: int = 1, version: int = 0):
+    return RoutingTable.from_spec(
+        spec, plan_shards(spec, workers), version=version
+    )
+
+
+class TestDerivation:
+    def test_one_route_per_ru_stream_and_per_flow(self):
+        spec = make_spec()
+        t = table(spec)
+        # Two cells, each 1 RU + 1 flow.
+        assert len(t) == 4
+        assert t.cells == ["anchor-a", "anchor-b"]
+
+    def test_eaxc_streams_use_global_ru_ids(self):
+        spec = make_spec()
+        t = table(spec)
+        streams = [r.stream for r in t.routes if r.stream.startswith("eaxc")]
+        assert streams == [
+            f"eaxc:{spec.ru_id_base('anchor-a')}",
+            f"eaxc:{spec.ru_id_base('anchor-b')}",
+        ]
+        # Global ids: the second cell's base is past the first's RUs.
+        assert spec.ru_id_base("anchor-b") == spec.ru_id_base("anchor-a") + 1
+
+    def test_flow_streams_name_ue_and_flow(self):
+        t = table(make_spec())
+        flow = t.lookup("anchor-a", "flow:anchor-a-ue/cbr-dl")
+        assert flow.group == "anchor-a"
+        assert flow.chain == ("passthrough",)
+
+    def test_grouped_cells_share_chain_and_wire_fault(self):
+        spec = make_spec(cells=[
+            cell_dict("c1", pci=1, group="campus", chain=("passthrough",),
+                      wire={"kind": "iid_loss", "rate": 0.1, "seed": 1}),
+            cell_dict("c2", pci=2, group="campus", chain=("prb_monitor",)),
+        ])
+        t = table(spec)
+        for route in t.routes:
+            assert route.group == "campus"
+            assert route.chain == ("passthrough", "prb_monitor")
+            assert route.wire_fault == "iid_loss"
+
+    def test_lookup_miss_is_a_descriptive_keyerror(self):
+        with pytest.raises(KeyError, match="no route for"):
+            table(make_spec()).lookup("anchor-a", "eaxc:999")
+
+    def test_to_dict_is_plain_data(self):
+        t = table(make_spec(), version=3)
+        data = t.to_dict()
+        assert data["version"] == 3
+        assert all(isinstance(r["chain"], list) for r in data["routes"])
+
+    def test_routes_for_cell_filters(self):
+        t = table(make_spec())
+        assert {r.cell for r in t.routes_for_cell("anchor-b")} == {
+            "anchor-b"
+        }
+        assert t.routes_for_cell("ghost") == []
+
+
+class TestRebalance:
+    def four_group_spec(self):
+        return make_spec(cells=[
+            cell_dict("g1", pci=1, rate_mbps=30),
+            cell_dict("g2", pci=2, rate_mbps=20),
+            cell_dict("g3", pci=3, rate_mbps=10),
+            cell_dict("g4", pci=4, rate_mbps=5),
+        ])
+
+    def test_survivors_keep_their_worker(self):
+        spec = self.four_group_spec()
+        plan = plan_shards(spec, workers=2)
+        before = {name: plan.shard_of(name) for name in ("g1", "g2", "g3",
+                                                         "g4")}
+        delta = SpecDelta(ops=(DeltaOp(op="add_cell", cell=tenant_dict()),))
+        rebalanced = rebalance_plan(plan, delta.apply(spec))
+        for name, worker in before.items():
+            assert rebalanced.shard_of(name) == worker
+
+    def test_admitted_group_lands_on_the_lightest_shard(self):
+        spec = self.four_group_spec()
+        plan = plan_shards(spec, workers=2)
+        delta = SpecDelta(ops=(DeltaOp(op="add_cell", cell=tenant_dict()),))
+        mutated = delta.apply(spec)
+        rebalanced = rebalance_plan(plan, mutated)
+        grouped = mutated.groups()
+        loads = [
+            sum(
+                len(grouped[name])
+                for name in shard
+                if name != "tenant"
+            )
+            for shard in rebalanced.shards
+        ]
+        tenant_worker = rebalanced.shard_of("tenant")
+        assert loads[tenant_worker] == min(loads)
+
+    def test_evicted_group_disappears_worker_count_fixed(self):
+        spec = self.four_group_spec()
+        plan = plan_shards(spec, workers=2)
+        delta = SpecDelta(ops=(DeltaOp(op="remove_cell", target="g4"),))
+        rebalanced = rebalance_plan(plan, delta.apply(spec))
+        assert rebalanced.workers == plan.workers
+        assert all("g4" not in shard for shard in rebalanced.shards)
+
+    def test_routing_version_bumps_are_explicit(self):
+        spec = make_spec()
+        t0 = table(spec, version=0)
+        delta = SpecDelta(ops=(DeltaOp(op="add_cell", cell=tenant_dict()),))
+        mutated = delta.apply(spec)
+        t1 = RoutingTable.from_spec(
+            mutated, plan_shards(mutated, 1), version=t0.version + 1
+        )
+        assert (t0.version, t1.version) == (0, 1)
+        assert len(t1) == len(t0) + 2
+        assert isinstance(t1.lookup("tenant", "flow:tenant-ue/cbr-ul"),
+                          Route)

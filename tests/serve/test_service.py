@@ -1,0 +1,140 @@
+"""The asyncio service end to end: real sockets, real worker pool.
+
+A compressed version of the ``repro.eval serve`` script, kept in tier-1
+so protocol regressions fail fast: a scripted client drives a small
+scenario over TCP — subscribe, step, admit a tenant, survive a rejected
+request, read routes, collect a digest that matches the batch runner,
+and shut the service down cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.scale.runner import run_scenario
+from repro.serve import (
+    RequestRejected,
+    ServeClient,
+    ServeService,
+    SpecDelta,
+)
+from repro.serve.delta import DeltaOp
+from tests.serve.builders import make_spec, tenant_dict
+
+ADMIT = SpecDelta(ops=(DeltaOp(op="add_cell", cell=tenant_dict()),))
+
+
+def drive(spec, script, workers=1):
+    async def main():
+        service = await ServeService(spec, workers=workers).start()
+        try:
+            client = await ServeClient.connect(port=service.port)
+            try:
+                return await asyncio.wait_for(
+                    script(client, service), timeout=60
+                )
+            finally:
+                await client.close()
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def test_scripted_session_end_to_end():
+    spec = make_spec(obs=True)
+
+    async def script(client, service):
+        hello = await client.hello()
+        assert hello["scenario"] == "serve-test"
+        assert hello["slots"] == 12 and hello["epoch_slots"] == 3
+        assert "epochs" in hello["topics"]
+
+        await client.subscribe(["epochs", "deltas"])
+        step = await client.step(epochs=1)
+        assert step == {"done": 3, "finished": False}
+        epoch_event = await client.wait_for_event("epochs", timeout=10)
+        assert epoch_event["data"]["epoch"] == 0  # first fold, 0-indexed
+
+        applied = await client.apply(ADMIT)
+        assert applied["rebuilt"] == ["tenant"]
+        delta_event = await client.wait_for_event("deltas", timeout=10)
+        assert delta_event["data"]["routing_version"] == 1
+
+        routes = await client.routes(cell="tenant")
+        assert routes["version"] == 1
+        assert {r["stream"] for r in routes["routes"]} == {
+            "eaxc:3", "flow:tenant-ue/cbr-ul",
+        }
+
+        status = await client.status()
+        while not (await client.step(epochs=1))["finished"]:
+            pass
+        assert status["deltas_applied"] == 1
+
+        collected = await client.collect()
+        await client.shutdown()
+        return collected
+
+    collected = drive(spec, script)
+    assert collected["slots"] == 12
+    assert "tenant" in collected["groups"]
+    reference = run_scenario(ADMIT.apply(spec), workers=1)
+    assert collected["digest"] == reference.digest
+
+
+def test_rejected_requests_leave_the_session_alive():
+    spec = make_spec()
+
+    async def script(client, service):
+        with pytest.raises(RequestRejected, match="unknown topics"):
+            await client.subscribe(["gossip"])
+        with pytest.raises(RequestRejected, match="unknown cell"):
+            await client.apply(
+                SpecDelta(
+                    ops=(DeltaOp(op="remove_cell", target="ghost"),)
+                )
+            )
+        with pytest.raises(RequestRejected, match="no routes for cell"):
+            await client.routes(cell="ghost")
+        with pytest.raises(RequestRejected, match="unknown op"):
+            await client.request("reboot")
+        # The session survived four rejections: a real request still acks
+        # and the run is untouched.
+        status = await client.status()
+        assert status["routing_version"] == 0
+        assert status["deltas_applied"] == 0
+        return status
+
+    status = drive(spec, script)
+    assert status["done"] == 0
+
+
+def test_auto_drive_runs_to_the_horizon():
+    spec = make_spec(obs=True)
+
+    async def main():
+        service = await ServeService(
+            spec, workers=1, auto_drive=True
+        ).start()
+        try:
+            client = await ServeClient.connect(port=service.port)
+            try:
+                await client.subscribe(["epochs"])
+                deadline = asyncio.get_running_loop().time() + 30
+                while True:
+                    status = await client.status()
+                    if status["finished"]:
+                        break
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                return await client.collect()
+            finally:
+                await client.close()
+        finally:
+            await service.stop()
+
+    collected = asyncio.run(main())
+    assert collected["digest"] == run_scenario(spec, workers=1).digest
