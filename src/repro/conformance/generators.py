@@ -25,6 +25,7 @@ except ImportError as exc:  # pragma: no cover - CI always installs it
 
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
+    MOD_COMP_METH,
     NO_COMP_METH,
     SAMPLES_PER_PRB,
     CompressionConfig,
@@ -61,12 +62,23 @@ from repro.serve.delta import DeltaOp, SpecDelta
 
 
 def compression_configs() -> st.SearchStrategy[CompressionConfig]:
-    """Every legal ``udCompHdr``: BFP widths 2..16 plus uncompressed."""
+    """Every legal ``udCompHdr``: BFP widths 2..16, modcomp widths 1..14,
+    plus uncompressed."""
     bfp = st.integers(min_value=2, max_value=16).map(
         lambda width: CompressionConfig(iq_width=width, comp_meth=BFP_COMP_METH)
     )
+    modcomp = st.integers(min_value=1, max_value=14).map(
+        lambda width: CompressionConfig(iq_width=width, comp_meth=MOD_COMP_METH)
+    )
     raw = st.just(CompressionConfig(iq_width=16, comp_meth=NO_COMP_METH))
-    return st.one_of(bfp, raw)
+    return st.one_of(bfp, modcomp, raw)
+
+
+def modcomp_configs() -> st.SearchStrategy[CompressionConfig]:
+    """Modulation-compression configs over every legal width."""
+    return st.integers(min_value=1, max_value=14).map(
+        lambda width: CompressionConfig(iq_width=width, comp_meth=MOD_COMP_METH)
+    )
 
 
 @st.composite
@@ -288,6 +300,7 @@ def cell_specs(draw, name: str = None, group=None) -> CellSpec:
         n_antennas=draw(st.integers(min_value=1, max_value=8)),
         max_dl_layers=draw(st.integers(min_value=1, max_value=4)),
         profile=draw(st.sampled_from(["srsRAN", "CapGemini", "Radisys"])),
+        codec=draw(st.sampled_from([None, "bfp", "modcomp"])),
         symbols_per_slot=draw(st.integers(min_value=1, max_value=14)),
         seed=draw(
             st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1))

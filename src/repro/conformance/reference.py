@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
     MAX_WIRE_EXPONENT,
+    MOD_COMP_METH,
     NO_COMP_METH,
     SAMPLES_PER_PRB,
 )
@@ -41,9 +42,16 @@ def scalar_exponent(row: Sequence[int], iq_width: int) -> int:
     return max(needed - iq_width, 0)
 
 
+def scalar_modcomp_scaler(row: Sequence[int], iq_width: int) -> int:
+    """Modcomp scaler of one PRB row of 24 samples (same shift rule)."""
+    return scalar_exponent(row, iq_width)
+
+
 def _prb_payload_bytes(iq_width: int, comp_meth: int) -> int:
     if comp_meth == NO_COMP_METH:
         return _VALUES_PER_PRB * 2
+    if comp_meth == MOD_COMP_METH:
+        return 2 + (_VALUES_PER_PRB * iq_width + 7) // 8
     return 1 + (_VALUES_PER_PRB * iq_width + 7) // 8
 
 
@@ -57,6 +65,24 @@ def scalar_compress(samples, iq_width: int, comp_meth: int = BFP_COMP_METH) -> b
         if comp_meth == NO_COMP_METH:
             for value in row:
                 out += struct.pack(">h", value)
+            continue
+        if comp_meth == MOD_COMP_METH:
+            scaler = scalar_modcomp_scaler(row, iq_width)
+            if scaler > max(0, 16 - iq_width):
+                raise ValueError(
+                    f"modcomp scaler {scaler} exceeds the legal bound "
+                    f"{max(0, 16 - iq_width)} for width {iq_width}; "
+                    "saturate samples to int16 before compressing"
+                )
+            param = scaler | ((1 << 15) if scaler > 0 else 0)  # csf bit
+            out += param.to_bytes(2, "big")
+            mask = (1 << iq_width) - 1
+            accumulator = 0
+            for value in row:
+                accumulator = (accumulator << iq_width) | (
+                    (value >> scaler) & mask
+                )
+            out += accumulator.to_bytes(3 * iq_width, "big")
             continue
         exponent = scalar_exponent(row, iq_width)
         if exponent > MAX_WIRE_EXPONENT:
@@ -92,6 +118,23 @@ def scalar_decompress(
                     for i in range(_VALUES_PER_PRB)
                 ]
             )
+            continue
+        if comp_meth == MOD_COMP_METH:
+            param = int.from_bytes(block[:2], "big")
+            scaler = min(param & 0x7FFF, 32)
+            half = (1 << scaler) >> 1
+            accumulator = int.from_bytes(block[2:], "big")
+            mask = (1 << iq_width) - 1
+            sign_bit = 1 << (iq_width - 1)
+            row = []
+            for position in range(_VALUES_PER_PRB):
+                shift = (_VALUES_PER_PRB - 1 - position) * iq_width
+                mantissa = (accumulator >> shift) & mask
+                if mantissa & sign_bit:
+                    mantissa -= 1 << iq_width
+                restored = (mantissa << scaler) + half
+                row.append(max(-32768, min(32767, restored)))
+            rows.append(row)
             continue
         exponent = block[0] & 0x0F
         accumulator = int.from_bytes(block[1:], "big")

@@ -47,7 +47,10 @@ from repro.faults.sequence import SequenceTracker, SeqVerdict
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
     MAX_WIRE_EXPONENT,
+    MOD_COMP_METH,
+    CompressionConfig,
 )
+from repro.fronthaul.modcomp import ModCompressor, max_scaler
 from repro.fronthaul.cplane import CPlaneMessage, Direction
 from repro.fronthaul.ecpri import EcpriMessageType
 from repro.fronthaul.errors import EcpriLengthError, MalformedFrame
@@ -80,9 +83,23 @@ class WireValidator:
         numerology: Optional[Numerology] = None,
         obs=None,
         report: Optional[ConformanceReport] = None,
+        allowed_compressions=None,
     ):
         self.name = name
         self.profile = profile
+        #: The set of negotiated wire configs legal on this tap.  When
+        #: given it overrides the profile-derived single expectation —
+        #: mixed-codec groups list every member cell's negotiation here.
+        #: ``None`` falls back to the profile's BFP config (or no
+        #: udCompHdr expectation at all when the profile is None too).
+        if allowed_compressions is not None:
+            self.allowed_compressions: Optional[frozenset] = frozenset(
+                allowed_compressions
+            )
+        elif profile is not None:
+            self.allowed_compressions = frozenset((profile.compression,))
+        else:
+            self.allowed_compressions = None
         self.carrier_num_prb = carrier_num_prb
         self.numerology = numerology or Numerology()
         self.obs = obs if obs is not None else obs_module.DEFAULT_OBSERVABILITY
@@ -125,6 +142,7 @@ class WireValidator:
         self._check_ecpri(packet, tap, found)
         if packet.is_cplane:
             self._check_sections(packet, tap, found)
+            self._check_cplane_compression(packet, tap, found)
             self._record_windows(packet)
         elif packet.is_uplane:
             self._check_sections(packet, tap, found)
@@ -265,51 +283,134 @@ class WireValidator:
                     break
             claimed.append((start, end))
 
+    def _comphdr_mismatch(
+        self,
+        packet: FronthaulPacket,
+        config: CompressionConfig,
+        what: str,
+        tap: str,
+        found: List[Violation],
+    ) -> bool:
+        """Flag a udCompHdr outside the negotiated set; True if flagged.
+
+        A wrong *codec* (udCompMeth no stream negotiated) is a
+        ``CODEC_MISMATCH`` — the RU has no decoder armed for it.  The
+        right codec with the wrong parameters (width) stays the original
+        ``BFP_WIDTH_MISMATCH`` class.
+        """
+        allowed = self.allowed_compressions
+        if allowed is None or config in allowed:
+            return False
+        names = ", ".join(
+            f"(width {c.iq_width}, meth {c.comp_meth})" for c in sorted(
+                allowed, key=lambda c: (c.comp_meth, c.iq_width)
+            )
+        )
+        if config.comp_meth not in {c.comp_meth for c in allowed}:
+            found.append(
+                self._violation(
+                    packet,
+                    ViolationClass.CODEC_MISMATCH,
+                    f"{what} udCompHdr meth {config.comp_meth} is a codec "
+                    f"no stream negotiated (allowed: {names})",
+                    tap,
+                )
+            )
+        else:
+            found.append(
+                self._violation(
+                    packet,
+                    ViolationClass.BFP_WIDTH_MISMATCH,
+                    f"{what} udCompHdr (width {config.iq_width}, "
+                    f"meth {config.comp_meth}) outside the negotiated "
+                    f"set {names}",
+                    tap,
+                )
+            )
+        return True
+
+    def _check_cplane_compression(
+        self, packet: FronthaulPacket, tap: str, found: List[Violation]
+    ) -> None:
+        message: CPlaneMessage = packet.message
+        self._comphdr_mismatch(
+            packet, message.compression, "C-plane", tap, found
+        )
+
     def _check_compression(
         self, packet: FronthaulPacket, tap: str, found: List[Violation]
     ) -> None:
         for section in packet.message.sections:
             config = section.compression
-            if (
-                self.profile is not None
-                and config != self.profile.compression
+            if self._comphdr_mismatch(
+                packet, config, f"section {section.section_id}", tap, found
             ):
-                found.append(
-                    self._violation(
-                        packet,
-                        ViolationClass.BFP_WIDTH_MISMATCH,
-                        f"section {section.section_id} udCompHdr "
-                        f"(width {config.iq_width}, meth {config.comp_meth})"
-                        f" != profile {self.profile.name} "
-                        f"(width {self.profile.compression.iq_width}, "
-                        f"meth {self.profile.compression.comp_meth})",
-                        tap,
-                    )
-                )
                 continue
-            if config.comp_meth != BFP_COMP_METH or section.num_prb < 1:
+            if section.num_prb < 1:
                 continue
-            # Raw exponent bytes, unmasked: the upper nibble is reserved
-            # and a legal exponent never exceeds 16 - iq_width.
-            prb_bytes = config.prb_payload_bytes()
-            raw = np.frombuffer(
-                section.payload,
-                dtype=np.uint8,
-                count=section.num_prb * prb_bytes,
-            )[::prb_bytes]
-            worst = int(raw.max())
-            legal = _legal_max_exponent(config.iq_width)
-            if worst > legal:
-                found.append(
-                    self._violation(
-                        packet,
-                        ViolationClass.ILLEGAL_BFP_EXPONENT,
-                        f"section {section.section_id} exponent byte "
-                        f"{worst} exceeds the legal max {legal} for "
-                        f"width-{config.iq_width} BFP",
-                        tap,
-                    )
+            if config.comp_meth == BFP_COMP_METH:
+                self._check_bfp_exponents(packet, section, config, tap, found)
+            elif config.comp_meth == MOD_COMP_METH:
+                self._check_modcomp_params(packet, section, config, tap, found)
+
+    def _check_bfp_exponents(
+        self, packet, section, config, tap, found: List[Violation]
+    ) -> None:
+        # Raw exponent bytes, unmasked: the upper nibble is reserved
+        # and a legal exponent never exceeds 16 - iq_width.
+        prb_bytes = config.prb_payload_bytes()
+        raw = np.frombuffer(
+            section.payload,
+            dtype=np.uint8,
+            count=section.num_prb * prb_bytes,
+        )[::prb_bytes]
+        worst = int(raw.max())
+        legal = _legal_max_exponent(config.iq_width)
+        if worst > legal:
+            found.append(
+                self._violation(
+                    packet,
+                    ViolationClass.ILLEGAL_BFP_EXPONENT,
+                    f"section {section.section_id} exponent byte "
+                    f"{worst} exceeds the legal max {legal} for "
+                    f"width-{config.iq_width} BFP",
+                    tap,
                 )
+            )
+
+    def _check_modcomp_params(
+        self, packet, section, config, tap, found: List[Violation]
+    ) -> None:
+        csf, scalers = ModCompressor(config).read_params(
+            section.payload, section.num_prb
+        )
+        worst = int(scalers.max())
+        legal = max_scaler(config.iq_width)
+        if worst > legal:
+            found.append(
+                self._violation(
+                    packet,
+                    ViolationClass.ILLEGAL_MODCOMP_PARAM,
+                    f"section {section.section_id} modcomp scaler "
+                    f"{worst} exceeds the legal max {legal} for "
+                    f"width-{config.iq_width} constellations",
+                    tap,
+                )
+            )
+            return
+        inconsistent = (csf.astype(bool) != (scalers > 0))
+        if bool(inconsistent.any()):
+            prb = int(np.argmax(inconsistent))
+            found.append(
+                self._violation(
+                    packet,
+                    ViolationClass.ILLEGAL_MODCOMP_PARAM,
+                    f"section {section.section_id} PRB {prb} csf flag "
+                    f"{int(csf[prb])} inconsistent with scaler "
+                    f"{int(scalers[prb])}",
+                    tap,
+                )
+            )
 
     def _record_windows(self, packet: FronthaulPacket) -> None:
         message: CPlaneMessage = packet.message

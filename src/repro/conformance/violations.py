@@ -33,6 +33,12 @@ class ViolationClass(str, enum.Enum):
     BFP_WIDTH_MISMATCH = "bfp_width_mismatch"
     #: BFP exponent byte outside the legal range for the mantissa width.
     ILLEGAL_BFP_EXPONENT = "illegal_bfp_exponent"
+    #: Section carries a codec (udCompMeth) no stream of the deployment
+    #: negotiated — a wrong-codec payload the RU would reject.
+    CODEC_MISMATCH = "codec_mismatch"
+    #: Modcomp udCompParam illegal: scaler beyond what int16 sources can
+    #: produce for the width, or a csf flag inconsistent with the scaler.
+    ILLEGAL_MODCOMP_PARAM = "illegal_modcomp_param"
     #: Sequence numbers skipped within a stream (loss).
     SEQ_GAP = "seq_gap"
     #: A sequence number repeated within a stream (duplicate).

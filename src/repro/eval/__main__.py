@@ -17,6 +17,8 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     from repro.eval.appendix import run_cost_analysis, run_sharing_math
     from repro.eval.chaos import run_chaos
     from repro.eval.chaos_scale import run as run_chaos_scale
+    from repro.eval.codec import run_codec
+    from repro.eval.codec import write_bench as write_codec_bench
     from repro.eval.conformance import run_conformance
     from repro.eval.fig10 import run_fig10a, run_fig10b, run_fig10c
     from repro.eval.fig11 import run_fig11
@@ -33,6 +35,11 @@ def _runners() -> "Dict[str, Callable[[], str]]":
     def _scale() -> str:
         result = run_scale()
         write_bench(result)
+        return result.format()
+
+    def _codec() -> str:
+        result = run_codec()
+        write_codec_bench(result)
         return result.format()
 
     return {
@@ -52,6 +59,7 @@ def _runners() -> "Dict[str, Callable[[], str]]":
         "appendix_a2": lambda: run_cost_analysis().format(),
         "chaos": lambda: run_chaos().format(),
         "chaos-scale": lambda: run_chaos_scale().format(),
+        "codec": _codec,
         "conformance": lambda: run_conformance().format(),
         "obs-top": lambda: run_obs_top().format(),
         "scale": _scale,

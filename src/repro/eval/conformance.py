@@ -10,9 +10,14 @@ Two halves, both required to pass:
    traffic is the conformance baseline.
 
 2. **Seeded violation matrix** — one crafted scenario per violation
-   class in the taxonomy (all nine), each fed to a fresh validator.
+   class in the taxonomy (all eleven), each fed to a fresh validator.
    The gate asserts the expected class is detected *and* that no other
    class fires: detection without classification is a miss.
+
+The clean half runs the full profile x codec matrix: every vendor
+profile under every wire codec it advertises (BFP always, modcomp
+where the profile carries a modcomp config), so a codec regression in
+either direction of the dispatch layer fails the gate.
 
 Run via ``PYTHONPATH=src python -m repro.eval conformance``; shrink with
 ``REPRO_CONFORMANCE_SLOTS`` for CI smoke runs.
@@ -50,7 +55,11 @@ from repro.fronthaul.uplane import UPlaneMessage, UPlaneSection
 from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
-from repro.ran.stacks import ALL_PROFILES, profile_by_name
+from repro.ran.stacks import (
+    ALL_PROFILES,
+    negotiate_compression,
+    profile_by_name,
+)
 from repro.ran.traffic import ConstantBitrateFlow
 from repro.sim.network_sim import FronthaulNetwork
 
@@ -59,9 +68,10 @@ DEFAULT_SLOTS = 12
 
 @dataclass
 class CleanRow:
-    """One vendor profile's clean-traffic outcome."""
+    """One (vendor profile, wire codec) cell of the clean matrix."""
 
     profile: str
+    codec: str
     slots: int
     frames: int
     violations: int
@@ -91,11 +101,12 @@ class ConformanceResult:
 
     def assert_healthy(self) -> None:
         for row in self.clean:
+            label = f"{row.profile}/{row.codec}"
             if row.frames == 0:
-                raise AssertionError(f"{row.profile}: validator saw no frames")
+                raise AssertionError(f"{label}: validator saw no frames")
             if row.violations:
                 raise AssertionError(
-                    f"{row.profile}: {row.violations} violation(s) on clean "
+                    f"{label}: {row.violations} violation(s) on clean "
                     f"traffic: {row.detail}"
                 )
         for row in self.seeded:
@@ -114,10 +125,11 @@ class ConformanceResult:
         clean_table = format_table(
             f"Conformance: clean interop matrix "
             f"(seed={self.seed}, {self.slots} slots, 2 tap styles)",
-            ["profile", "frames checked", "violations", "verdict"],
+            ["profile", "codec", "frames checked", "violations", "verdict"],
             [
                 (
                     row.profile,
+                    row.codec,
                     row.frames,
                     row.violations,
                     "ok" if row.violations == 0 else "VIOLATIONS",
@@ -144,16 +156,22 @@ class ConformanceResult:
 # -- half 1: the clean interop matrix ----------------------------------------
 
 
-def _run_clean(profile, slots: int, seed: int) -> CleanRow:
+def _run_clean(profile, codec: str, slots: int, seed: int) -> CleanRow:
+    compression = negotiate_compression(profile, codec)
     cell = CellConfig(
         pci=1,
         bandwidth_hz=40_000_000,
         n_antennas=2,
         max_dl_layers=2,
-        compression=profile.compression,
+        compression=compression,
     )
     du = DistributedUnit(
-        du_id=1, cell=cell, profile=profile, symbols_per_slot=1, seed=seed
+        du_id=1,
+        cell=cell,
+        profile=profile,
+        symbols_per_slot=1,
+        seed=seed,
+        compression=compression,
     )
     rus = [
         RadioUnit(
@@ -161,7 +179,7 @@ def _run_clean(profile, slots: int, seed: int) -> CleanRow:
             config=RuConfig(
                 num_prb=cell.num_prb,
                 n_antennas=2,
-                compression=profile.compression,
+                compression=compression,
             ),
             du_mac=du.mac,
             seed=seed,
@@ -175,10 +193,11 @@ def _run_clean(profile, slots: int, seed: int) -> CleanRow:
 
     def validator(tap_style: str) -> WireValidator:
         return WireValidator(
-            name=f"{profile.name}-{tap_style}",
+            name=f"{profile.name}-{codec}-{tap_style}",
             profile=profile,
             carrier_num_prb=cell.num_prb,
             numerology=cell.numerology,
+            allowed_compressions={compression},
         )
 
     ingress = validator("ingress")
@@ -198,6 +217,7 @@ def _run_clean(profile, slots: int, seed: int) -> CleanRow:
     merged.merge(chain_validator.report)
     return CleanRow(
         profile=profile.name,
+        codec=codec,
         slots=slots,
         frames=merged.frames_checked,
         violations=merged.total_violations,
@@ -212,10 +232,10 @@ _DST = MacAddress.from_int(0x02_00_00_00_00_02)
 _EAXC = EAxCId.from_int(0x0101)
 
 
-def _fresh_validator() -> WireValidator:
+def _fresh_validator(**kwargs) -> WireValidator:
     profile = profile_by_name("srsRAN")
     return WireValidator(
-        name="seeded", profile=profile, carrier_num_prb=106
+        name="seeded", profile=profile, carrier_num_prb=106, **kwargs
     )
 
 
@@ -320,6 +340,35 @@ def _seed_illegal_bfp_exponent(validator: WireValidator) -> None:
     )
 
 
+def _seed_codec_mismatch(validator: WireValidator) -> None:
+    # A modcomp payload on a deployment that only negotiated BFP: the
+    # RU has no decoder armed for udCompMeth 4 at all.
+    modcomp = profile_by_name("srsRAN").modcomp
+    validator.observe(_cplane(0, 4, seq=0), tap="seeded")
+    validator.observe(
+        _uplane(0, 4, seq=1, compression=modcomp), tap="seeded"
+    )
+
+
+def _seed_illegal_modcomp_param(validator: WireValidator) -> None:
+    modcomp = profile_by_name("srsRAN").modcomp
+    good = (
+        _uplane(0, 2, seq=1, compression=modcomp)
+        .message.sections[0]
+        .payload_bytes()
+    )
+    payload = bytearray(good)
+    payload[0] = 0x80  # csf set, and...
+    payload[1] = 20  # ...scaler 20 > legal max 13 for width-3 modcomp
+    validator.observe(
+        _cplane(0, 2, seq=0, compression=modcomp), tap="seeded"
+    )
+    validator.observe(
+        _uplane(0, 2, seq=1, compression=modcomp, payload=bytes(payload)),
+        tap="seeded",
+    )
+
+
 def _seed_seq_gap(validator: WireValidator) -> None:
     validator.observe(_cplane(0, 10, seq=0), tap="seeded")
     validator.observe(_cplane(0, 10, seq=2), tap="seeded")
@@ -340,28 +389,37 @@ def _seed_stale_slot(validator: WireValidator) -> None:
     )
 
 
+# (name, expected class, scenario, validator kwargs).  The modcomp
+# param scenario arms the validator with the negotiated modcomp config
+# so only the corrupt parameter — not the codec choice — is illegal.
 _SEEDED = [
     ("truncated-uplane", ViolationClass.BAD_ECPRI_LENGTH,
-     _seed_bad_ecpri_length),
-    ("bad-version", ViolationClass.MALFORMED_FRAME, _seed_malformed_frame),
+     _seed_bad_ecpri_length, {}),
+    ("bad-version", ViolationClass.MALFORMED_FRAME, _seed_malformed_frame,
+     {}),
     ("carrier-overrun", ViolationClass.SECTION_STRUCTURE,
-     _seed_section_structure),
+     _seed_section_structure, {}),
     ("unscheduled-uplane", ViolationClass.PRB_SECTION_MISMATCH,
-     _seed_prb_section_mismatch),
+     _seed_prb_section_mismatch, {}),
     ("wrong-width", ViolationClass.BFP_WIDTH_MISMATCH,
-     _seed_bfp_width_mismatch),
+     _seed_bfp_width_mismatch, {}),
     ("corrupt-exponent", ViolationClass.ILLEGAL_BFP_EXPONENT,
-     _seed_illegal_bfp_exponent),
-    ("skipped-seq", ViolationClass.SEQ_GAP, _seed_seq_gap),
-    ("repeated-seq", ViolationClass.SEQ_DUP, _seed_seq_dup),
-    ("regressed-slot", ViolationClass.STALE_SLOT, _seed_stale_slot),
+     _seed_illegal_bfp_exponent, {}),
+    ("unnegotiated-codec", ViolationClass.CODEC_MISMATCH,
+     _seed_codec_mismatch, {}),
+    ("corrupt-scaler", ViolationClass.ILLEGAL_MODCOMP_PARAM,
+     _seed_illegal_modcomp_param,
+     {"allowed_compressions": (profile_by_name("srsRAN").modcomp,)}),
+    ("skipped-seq", ViolationClass.SEQ_GAP, _seed_seq_gap, {}),
+    ("repeated-seq", ViolationClass.SEQ_DUP, _seed_seq_dup, {}),
+    ("regressed-slot", ViolationClass.STALE_SLOT, _seed_stale_slot, {}),
 ]
 
 
 def _run_seeded() -> List[SeededRow]:
     rows = []
-    for name, expected, scenario in _SEEDED:
-        validator = _fresh_validator()
+    for name, expected, scenario, validator_kwargs in _SEEDED:
+        validator = _fresh_validator(**validator_kwargs)
         scenario(validator)
         counts = dict(validator.report.counts)
         detected = counts.pop(expected.value, 0)
@@ -390,7 +448,11 @@ def run_conformance(
     result = ConformanceResult(
         seed=seed,
         slots=slots,
-        clean=[_run_clean(profile, slots, seed) for profile in ALL_PROFILES],
+        clean=[
+            _run_clean(profile, codec, slots, seed)
+            for profile in ALL_PROFILES
+            for codec in profile.supported_codecs()
+        ],
         seeded=_run_seeded(),
     )
     result.assert_healthy()

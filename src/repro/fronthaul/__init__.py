@@ -26,9 +26,12 @@ from repro.fronthaul.ethernet import EthernetHeader, MacAddress, VlanTag
 from repro.fronthaul.ecpri import EAxCId, EcpriHeader, EcpriMessageType
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
+    MOD_COMP_METH,
     BfpCompressor,
     CompressionConfig,
+    codec_for,
 )
+from repro.fronthaul.modcomp import ModCompressor
 from repro.fronthaul.timing import Numerology, SlotClock, SymbolTime, TddPattern
 from repro.fronthaul.spectrum import PrbGrid, aligned_du_center_frequency
 from repro.fronthaul.cplane import (
@@ -52,8 +55,11 @@ __all__ = [
     "EcpriHeader",
     "EcpriMessageType",
     "BFP_COMP_METH",
+    "MOD_COMP_METH",
     "BfpCompressor",
+    "ModCompressor",
     "CompressionConfig",
+    "codec_for",
     "Numerology",
     "SlotClock",
     "SymbolTime",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Tuple
 
 import numpy as np
 
@@ -36,6 +36,8 @@ SAMPLES_PER_PRB = 12
 BFP_COMP_METH = 1
 #: udCompMeth code for uncompressed 16-bit fixed point.
 NO_COMP_METH = 0
+#: udCompMeth code for modulation compression (O-RAN CUS Annex A.4).
+MOD_COMP_METH = 4
 
 #: Largest exponent the 4-bit wire nibble can carry (Figure 2).
 MAX_WIRE_EXPONENT = 15
@@ -109,8 +111,9 @@ class CompressionConfig:
     """Parameters carried in the O-RAN ``udCompHdr`` field.
 
     ``iq_width`` is the mantissa width in bits (Figure 2 shows width 9);
-    ``comp_meth`` selects the scheme.  Only BFP and uncompressed are
-    implemented, matching the stacks studied in the paper.
+    ``comp_meth`` selects the scheme.  BFP, modulation compression, and
+    uncompressed are implemented — the three wire formats the vendor
+    stacks negotiate over M-plane.
     """
 
     iq_width: int = 9
@@ -123,6 +126,11 @@ class CompressionConfig:
         elif self.comp_meth == BFP_COMP_METH:
             if not 2 <= self.iq_width <= 16:
                 raise ValueError(f"BFP iq_width out of range: {self.iq_width}")
+        elif self.comp_meth == MOD_COMP_METH:
+            if not 1 <= self.iq_width <= 14:
+                raise ValueError(
+                    f"modcomp iq_width out of range: {self.iq_width}"
+                )
         else:
             raise ValueError(f"unsupported compression method: {self.comp_meth}")
 
@@ -138,12 +146,36 @@ class CompressionConfig:
             width = 16
         return cls(iq_width=width, comp_meth=meth)
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-data form, the exact inverse of :meth:`from_dict`."""
+        return {"iq_width": self.iq_width, "comp_meth": self.comp_meth}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompressionConfig":
+        """Strict constructor from plain data.
+
+        Unknown keys raise :class:`KeyError` — the same strictness as
+        ``ScenarioSpec.from_dict`` — so a typoed ``iq_widht`` in a spec
+        fails loudly instead of silently negotiating the default codec.
+        """
+        unknown = set(data) - {"iq_width", "comp_meth"}
+        if unknown:
+            raise KeyError(
+                f"compression config has unknown keys: {sorted(unknown)}"
+            )
+        return cls(
+            iq_width=int(data.get("iq_width", 9)),
+            comp_meth=int(data.get("comp_meth", BFP_COMP_METH)),
+        )
+
     def prb_payload_bytes(self) -> int:
-        """Serialized size of one PRB: exponent byte + packed mantissas."""
+        """Serialized size of one PRB: param byte(s) + packed mantissas."""
         mantissa_bits = 2 * SAMPLES_PER_PRB * self.iq_width
         packed = (mantissa_bits + 7) // 8
         if self.comp_meth == NO_COMP_METH:
             return 2 * SAMPLES_PER_PRB * 2  # int16 I and Q, no exponent
+        if self.comp_meth == MOD_COMP_METH:
+            return 2 + packed  # csf/scaler param halfword + mantissas
         return 1 + packed
 
 
@@ -361,6 +393,23 @@ class BfpCompressor:
         return raw[::prb_bytes] & 0x0F
 
 
+def codec_for(config: CompressionConfig):
+    """The wire codec implementing ``config.comp_meth``.
+
+    The dispatch point of the two-codec fronthaul: BFP and uncompressed
+    payloads go through :class:`BfpCompressor`, modulation compression
+    through :class:`~repro.fronthaul.modcomp.ModCompressor`.  Both expose
+    the same compress/decompress/decompress_stack/parse_wire/
+    read_exponents surface, so everything above this line (U-plane
+    sections, DAS merge, PRB monitoring) is codec-agnostic.
+    """
+    if config.comp_meth == MOD_COMP_METH:
+        from repro.fronthaul.modcomp import ModCompressor
+
+        return ModCompressor(config)
+    return BfpCompressor(config)
+
+
 def merge_payloads(
     payloads, n_prbs: int, config: CompressionConfig
 ) -> bytes:
@@ -369,9 +418,10 @@ def merge_payloads(
     Decompresses the operands into one ``(n_ops, n_prbs, 24)`` stack with a
     single codec pass, sums across operands with int64 accumulation and
     int16 saturation, and compresses the result in one pass — the DAS
-    uplink combine without any per-section round-trips.
+    uplink combine without any per-section round-trips.  Works for any
+    negotiated codec via :func:`codec_for`.
     """
-    compressor = BfpCompressor(config)
+    compressor = codec_for(config)
     stack = compressor.decompress_stack(payloads, n_prbs)
     total = stack.sum(axis=0, dtype=np.int64)
     merged = np.clip(total, -32768, 32767).astype(np.int16)

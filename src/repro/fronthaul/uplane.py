@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.fronthaul.compression import BfpCompressor, CompressionConfig
+from repro.fronthaul.compression import CompressionConfig, codec_for
 from repro.fronthaul.cplane import ALL_PRBS, Direction
 from repro.fronthaul.errors import TruncatedFrame
 from repro.fronthaul.timing import SymbolTime
@@ -101,7 +101,7 @@ class UPlaneSection:
         :meth:`replace_payload` untouched skips recompression entirely.
         """
         if self._iq_cache is None:
-            decoded = BfpCompressor(self.compression).decompress(
+            decoded = codec_for(self.compression).decompress(
                 self.payload, self.num_prb
             )
             decoded.setflags(write=False)
@@ -109,8 +109,13 @@ class UPlaneSection:
         return self._iq_cache
 
     def exponents(self) -> np.ndarray:
-        """Per-PRB BFP exponents without decompressing (Algorithm 1)."""
-        return BfpCompressor(self.compression).read_exponents(
+        """Per-PRB compression params without decompressing (Algorithm 1).
+
+        BFP exponents for BFP payloads, modcomp scalers for modulation
+        compression — either way a per-PRB energy indicator whose zero
+        value marks an idle PRB, which is all the PRB monitor needs.
+        """
+        return codec_for(self.compression).read_exponents(
             self.payload, self.num_prb
         )
 
@@ -160,7 +165,7 @@ class UPlaneSection:
         if samples is self._iq_cache and self._iq_cache is not None:
             payload: PayloadBytes = self.payload
         else:
-            payload = BfpCompressor(self.compression).compress(samples)
+            payload = codec_for(self.compression).compress(samples)
         return UPlaneSection(
             section_id=self.section_id,
             start_prb=self.start_prb,
@@ -180,7 +185,7 @@ class UPlaneSection:
         compression: CompressionConfig = CompressionConfig(),
     ) -> "UPlaneSection":
         """Build a section by compressing int16 samples of shape (n, 24)."""
-        payload = BfpCompressor(compression).compress(samples)
+        payload = codec_for(compression).compress(samples)
         return cls(
             section_id=section_id,
             start_prb=start_prb,

@@ -94,10 +94,16 @@ class DistributedUnit:
         symbols_per_slot: Optional[int] = 2,
         record_reference: bool = False,
         seed: int = 0,
+        compression=None,
     ):
         self.du_id = du_id
         self.cell = cell
         self.profile = profile
+        #: Negotiated wire codec for this cell's eAxC streams; defaults
+        #: to the stack's BFP parameters when no negotiation happened.
+        self.compression = (
+            profile.compression if compression is None else compression
+        )
         self.mac = mac or MacAddress.from_int(0x02_00_00_00_00_00 + du_id)
         self.ru_mac = ru_mac or MacAddress.from_int(0x02_00_00_00_10_00 + du_id)
         self.scheduler = MacScheduler(cell, profile)
@@ -218,7 +224,7 @@ class DistributedUnit:
                         num_symbols=len(symbols),
                     )
                 ],
-                compression=self.profile.compression,
+                compression=self.compression,
             )
             eaxc = EAxCId(du_port=self.du_id, ru_port=port)
             packets.append(self._emit(message, eaxc))
@@ -251,7 +257,7 @@ class DistributedUnit:
                         num_symbols=len(symbols),
                     )
                 ],
-                compression=self.profile.compression,
+                compression=self.compression,
             )
             eaxc = EAxCId(du_port=self.du_id, ru_port=port)
             packets.append(self._emit(message, eaxc))
@@ -279,7 +285,7 @@ class DistributedUnit:
             ),
             sections=[section],
             section_type=SectionType.PRACH,
-            compression=self.profile.compression,
+            compression=self.compression,
             filter_index=1,  # PRACH filter
         )
         eaxc = EAxCId(du_port=self.du_id, ru_port=0)
@@ -319,7 +325,7 @@ class DistributedUnit:
                     section_id=self.du_id % 4096,
                     start_prb=0,
                     samples=grid,
-                    compression=self.profile.compression,
+                    compression=self.compression,
                 )
                 message = UPlaneMessage(
                     direction=Direction.DOWNLINK, time=time, sections=[section]

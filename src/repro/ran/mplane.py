@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
-from repro.fronthaul.compression import CompressionConfig
+from repro.fronthaul.compression import (
+    BFP_COMP_METH,
+    MOD_COMP_METH,
+    NO_COMP_METH,
+    CompressionConfig,
+)
 from repro.ran.ru import RuConfig
 
 
@@ -32,6 +37,34 @@ class RuCapabilities:
     max_antennas: int = 4
     max_tx_power_dbm: float = 24.0
     supported_iq_widths: Tuple[int, ...] = (8, 9, 12, 14, 16)
+    #: udCompMeth codes the radio advertises over M-plane; codec
+    #: negotiation (:func:`repro.ran.stacks.negotiate_compression`)
+    #: refuses anything outside this set.
+    supported_comp_meths: Tuple[int, ...] = (
+        NO_COMP_METH,
+        BFP_COMP_METH,
+        MOD_COMP_METH,
+    )
+    #: Mantissa widths accepted for modulation compression (distinct
+    #: from the BFP widths — constellation axes are much narrower).
+    supported_modcomp_widths: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8)
+
+    def validate_compression(self, config: CompressionConfig) -> List[str]:
+        """Constraint violations of a proposed wire codec config."""
+        errors: List[str] = []
+        if config.comp_meth not in self.supported_comp_meths:
+            errors.append(
+                f"comp_meth {config.comp_meth} unsupported (advertised: "
+                f"{self.supported_comp_meths})"
+            )
+        elif config.comp_meth == MOD_COMP_METH:
+            if config.iq_width not in self.supported_modcomp_widths:
+                errors.append(
+                    f"modcomp iq_width {config.iq_width} unsupported"
+                )
+        elif config.iq_width not in self.supported_iq_widths:
+            errors.append(f"iq_width {config.iq_width} unsupported")
+        return errors
 
     def validate(self, config: RuConfig) -> List[str]:
         """All constraint violations of a candidate configuration."""
@@ -60,10 +93,7 @@ class RuCapabilities:
                 f"{config.tx_power_dbm_per_port} dBm exceeds the rated "
                 f"{self.max_tx_power_dbm} dBm"
             )
-        if config.compression.iq_width not in self.supported_iq_widths:
-            errors.append(
-                f"iq_width {config.compression.iq_width} unsupported"
-            )
+        errors.extend(self.validate_compression(config.compression))
         return errors
 
 
@@ -129,8 +159,14 @@ class MPlaneSession:
         self._candidate = replace(base, **fields)
         return self._candidate
 
-    def edit_compression(self, iq_width: int) -> RuConfig:
-        return self.edit(compression=CompressionConfig(iq_width=iq_width))
+    def edit_compression(
+        self, iq_width: int, comp_meth: int = BFP_COMP_METH
+    ) -> RuConfig:
+        return self.edit(
+            compression=CompressionConfig(
+                iq_width=iq_width, comp_meth=comp_meth
+            )
+        )
 
     def validate(self) -> List[str]:
         """Errors the current candidate would fail commit with."""

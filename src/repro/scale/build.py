@@ -28,7 +28,12 @@ from repro.phy.geometry import Position
 from repro.ran.cell import CellConfig
 from repro.ran.du import DistributedUnit
 from repro.ran.ru import RadioUnit, RuConfig
-from repro.ran.stacks import VendorProfile, profile_by_name
+from repro.ran.mplane import RuCapabilities
+from repro.ran.stacks import (
+    VendorProfile,
+    negotiate_compression,
+    profile_by_name,
+)
 from repro.ran.traffic import ConstantBitrateFlow, PoissonFlow
 from repro.scale.spec import CellSpec, ScenarioSpec, UeSpec
 from repro.sim.network_sim import FronthaulNetwork
@@ -78,7 +83,11 @@ def _cell_config(cell: CellSpec) -> CellConfig:
         n_antennas=cell.n_antennas,
         max_dl_layers=cell.max_dl_layers,
         tdd=profile.tdd,
-        compression=profile.compression,
+        # Per-stream codec negotiation: the spec's codec (or the stack's
+        # preference) against the model RU's M-plane advertisement.
+        compression=negotiate_compression(
+            profile, cell.codec, RuCapabilities()
+        ),
     )
     if cell.center_frequency_hz is not None:
         kwargs["center_frequency_hz"] = cell.center_frequency_hz
@@ -125,6 +134,7 @@ def build_cell(
         profile=profile,
         symbols_per_slot=cell.symbols_per_slot,
         seed=cell_seed,
+        compression=config.compression,
     )
     built = BuiltCell(spec=cell, config=config, profile=profile, du=du)
     _attach_ues(du, cell.ues)
@@ -219,6 +229,11 @@ def build_group(
             ),
             numerology=built_cells[0].config.numerology,
             obs=obs,
+            # The negotiated wire configs of the member cells: in a
+            # mixed-codec group every stream must still use one of them.
+            allowed_compressions=frozenset(
+                built.config.compression for built in built_cells
+            ),
         )
     network = FronthaulNetwork(
         middleboxes=middleboxes,

@@ -146,6 +146,10 @@ class CellSpec:
     max_dl_layers: int = 2
     #: Vendor stack profile name (``repro.ran.stacks.profile_by_name``).
     profile: str = "srsRAN"
+    #: Wire codec for this cell's eAxC streams: ``"bfp"``, ``"modcomp"``,
+    #: or ``None`` to let the stack's preference win the negotiation
+    #: (:func:`repro.ran.stacks.negotiate_compression`).
+    codec: Optional[str] = None
     symbols_per_slot: int = 1
     seed: Optional[int] = None
     #: Coupling group: cells naming the same group run in one network on
@@ -162,6 +166,11 @@ class CellSpec:
     def __post_init__(self) -> None:
         if not self.rus:
             raise ValueError(f"cell {self.name!r} needs at least one RU")
+        if self.codec is not None and self.codec not in ("bfp", "modcomp"):
+            raise ValueError(
+                f"cell {self.name!r} names unknown codec {self.codec!r}; "
+                "expected 'bfp' or 'modcomp'"
+            )
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellSpec":

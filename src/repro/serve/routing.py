@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.ran.stacks import profile_by_name
 from repro.scale.shard import ShardPlan
 from repro.scale.spec import ScenarioSpec
 
@@ -44,6 +45,9 @@ class Route:
     worker: int
     chain: Tuple[str, ...]
     wire_fault: Optional[str] = None
+    #: Negotiated wire codec of the stream's cell ("bfp" / "modcomp") —
+    #: what an operator needs to know before tapping the stream.
+    codec: str = "bfp"
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -57,6 +61,7 @@ class Route:
             "worker": self.worker,
             "chain": list(self.chain),
             "wire_fault": self.wire_fault,
+            "codec": self.codec,
         }
 
 
@@ -97,6 +102,10 @@ class RoutingTable:
             fault = wired.wire.get("kind") if wired is not None else None
             for cell in members:
                 base = spec.ru_id_base(cell.name)
+                codec = (
+                    cell.codec
+                    or profile_by_name(cell.profile).preferred_codec
+                )
                 for offset, _ru in enumerate(cell.rus):
                     routes.append(
                         Route(
@@ -106,6 +115,7 @@ class RoutingTable:
                             worker=worker,
                             chain=chain,
                             wire_fault=fault,
+                            codec=codec,
                         )
                     )
                 for ue in cell.ues:
@@ -119,6 +129,7 @@ class RoutingTable:
                                 worker=worker,
                                 chain=chain,
                                 wire_fault=fault,
+                                codec=codec,
                             )
                         )
         return cls(version=version, routes=tuple(routes))

@@ -18,16 +18,20 @@ from repro.conformance.reference import (
     scalar_decompress,
     scalar_exponent,
     scalar_merge,
+    scalar_modcomp_scaler,
     scalar_pack_uplane,
     scalar_parse_uplane,
 )
 from repro.fronthaul.compression import (
     BFP_COMP_METH,
+    MOD_COMP_METH,
     NO_COMP_METH,
     BfpCompressor,
     CompressionConfig,
+    codec_for,
     merge_payloads,
 )
+from repro.fronthaul.modcomp import ModCompressor
 from repro.fronthaul.cplane import CPlaneMessage
 from repro.fronthaul.packet import parse_packet
 from repro.fronthaul.uplane import UPlaneMessage
@@ -36,7 +40,7 @@ from tests.conformance.builders import uplane_packet
 #: Seeded sweep size per codec — the acceptance floor is 200.
 N_CASES = 220
 
-#: (iq_width, comp_meth) grid cycled through the seeded sweeps.
+#: (iq_width, comp_meth) grid cycled through the seeded BFP sweeps.
 _CONFIGS = [
     (9, BFP_COMP_METH),
     (14, BFP_COMP_METH),
@@ -45,18 +49,36 @@ _CONFIGS = [
     (16, NO_COMP_METH),
 ]
 
+#: The modcomp grid: the three vendor widths plus the extremes.
+_MODCOMP_CONFIGS = [(3,), (4,), (6,), (1,), (14,), (8,)]
 
-def _case(index: int):
-    """Deterministic case ``index``: (config, samples)."""
-    width, meth = _CONFIGS[index % len(_CONFIGS)]
-    rng = np.random.default_rng(1000 + index)
+
+def _samples_for(index: int, seed_base: int) -> np.ndarray:
+    rng = np.random.default_rng(seed_base + index)
     n_prbs = int(rng.integers(1, 17))
     amplitude = int(rng.choice([1, 15, 300, 4000, 32767]))
     samples = rng.integers(
         -amplitude - 1, amplitude + 1, size=(n_prbs, 24), dtype=np.int64
     )
-    samples = np.clip(samples, -32768, 32767).astype(np.int16)
-    return CompressionConfig(iq_width=width, comp_meth=meth), samples
+    return np.clip(samples, -32768, 32767).astype(np.int16)
+
+
+def _case(index: int):
+    """Deterministic BFP case ``index``: (config, samples)."""
+    width, meth = _CONFIGS[index % len(_CONFIGS)]
+    return (
+        CompressionConfig(iq_width=width, comp_meth=meth),
+        _samples_for(index, 1000),
+    )
+
+
+def _modcomp_case(index: int):
+    """Deterministic modcomp case ``index``: (config, samples)."""
+    (width,) = _MODCOMP_CONFIGS[index % len(_MODCOMP_CONFIGS)]
+    return (
+        CompressionConfig(iq_width=width, comp_meth=MOD_COMP_METH),
+        _samples_for(index, 2000),
+    )
 
 
 class TestBfpCodecDifferential:
@@ -124,6 +146,61 @@ class TestBfpCodecDifferential:
             ), value
 
 
+class TestModCompCodecDifferential:
+    """The vectorized second codec against the scalar reference."""
+
+    def test_compress_matches_scalar_reference(self):
+        for index in range(N_CASES):
+            config, samples = _modcomp_case(index)
+            vectorized = ModCompressor(config).compress(samples)
+            reference = scalar_compress(
+                samples.tolist(), config.iq_width, config.comp_meth
+            )
+            assert vectorized == reference, f"case {index}: {config}"
+
+    def test_decompress_matches_scalar_reference(self):
+        for index in range(N_CASES):
+            config, samples = _modcomp_case(index)
+            payload = ModCompressor(config).compress(samples)
+            vectorized = ModCompressor(config).decompress(
+                payload, len(samples)
+            )
+            reference = scalar_decompress(
+                payload, len(samples), config.iq_width, config.comp_meth
+            )
+            assert vectorized.tolist() == reference, f"case {index}"
+
+    def test_merge_matches_scalar_reference(self):
+        for index in range(N_CASES):
+            config, samples = _modcomp_case(index)
+            rng = np.random.default_rng(6000 + index)
+            n_ops = int(rng.integers(2, 5))
+            operands = []
+            for op in range(n_ops):
+                shifted = np.clip(
+                    samples.astype(np.int64)
+                    + rng.integers(-50, 51, size=samples.shape),
+                    -32768,
+                    32767,
+                ).astype(np.int16)
+                operands.append(ModCompressor(config).compress(shifted))
+            vectorized = merge_payloads(operands, len(samples), config)
+            reference = scalar_merge(
+                operands, len(samples), config.iq_width, config.comp_meth
+            )
+            assert vectorized == reference, f"case {index}: {n_ops} operands"
+
+    def test_scalers_match_scalar_reference(self):
+        for index in range(N_CASES):
+            config, samples = _modcomp_case(index)
+            vectorized = ModCompressor(config).scalers_for(samples)
+            reference = [
+                scalar_modcomp_scaler(row, config.iq_width)
+                for row in samples.tolist()
+            ]
+            assert vectorized.tolist() == reference, f"case {index}"
+
+
 class TestUPlaneParserDifferential:
     def test_parse_matches_scalar_reference(self):
         for index in range(N_CASES):
@@ -166,12 +243,23 @@ class TestHypothesisRoundTrips:
 
     @given(samples=gen.iq_samples(), config=gen.compression_configs())
     @settings(max_examples=80, deadline=None)
-    def test_bfp_codec_round_trip_is_stable(self, samples, config):
-        compressor = BfpCompressor(config)
+    def test_codec_round_trip_is_stable(self, samples, config):
+        compressor = codec_for(config)
         payload = compressor.compress(samples)
         decoded = compressor.decompress(payload, len(samples))
         # Lossy once, stable forever: recompressing the decode must
         # reproduce the wire bytes exactly.
+        assert compressor.compress(decoded) == payload
+        assert scalar_compress(
+            decoded.tolist(), config.iq_width, config.comp_meth
+        ) == payload
+
+    @given(samples=gen.iq_samples(), config=gen.modcomp_configs())
+    @settings(max_examples=80, deadline=None)
+    def test_modcomp_codec_round_trip_is_stable(self, samples, config):
+        compressor = ModCompressor(config)
+        payload = compressor.compress(samples)
+        decoded = compressor.decompress(payload, len(samples))
         assert compressor.compress(decoded) == payload
         assert scalar_compress(
             decoded.tolist(), config.iq_width, config.comp_meth

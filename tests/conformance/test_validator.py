@@ -75,7 +75,9 @@ class TestViolationClasses:
         validator = WireValidator(
             name="test", profile=profile, carrier_num_prb=273
         )
-        validator.observe(cplane_packet(0, 150, seq=0))
+        validator.observe(
+            cplane_packet(0, 150, seq=0, compression=profile.compression)
+        )
         validator.observe(
             uplane_packet(
                 0, 150, seq=1, compression=profile.compression, amplitude=3

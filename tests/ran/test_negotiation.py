@@ -1,0 +1,133 @@
+"""Per-stream codec negotiation: profile advertisement, RU capabilities."""
+
+import pytest
+
+from repro.fronthaul.compression import (
+    BFP_COMP_METH,
+    MOD_COMP_METH,
+    NO_COMP_METH,
+    CompressionConfig,
+)
+from repro.ran.mplane import RuCapabilities
+from repro.ran.stacks import (
+    ALL_PROFILES,
+    CodecNegotiationError,
+    VendorProfile,
+    negotiate_compression,
+    profile_by_name,
+)
+
+
+def _bfp_only_profile():
+    srs = profile_by_name("srsRAN")
+    return VendorProfile(
+        name="legacy",
+        tdd=srs.tdd,
+        dl_overhead=srs.dl_overhead,
+        ul_overhead=srs.ul_overhead,
+        scheduler_efficiency=srs.scheduler_efficiency,
+        ul_max_se=srs.ul_max_se,
+        dl_max_se=srs.dl_max_se,
+        compression=CompressionConfig(iq_width=9),
+        modcomp=None,
+    )
+
+
+class TestProfileAdvertisement:
+    def test_every_stock_profile_supports_both_codecs(self):
+        for profile in ALL_PROFILES:
+            assert profile.supported_codecs() == ("bfp", "modcomp")
+
+    def test_preference_comes_first(self):
+        srs = profile_by_name("srsRAN")
+        preferring = VendorProfile(
+            **{**srs.__dict__, "preferred_codec": "modcomp"}
+        )
+        assert preferring.supported_codecs() == ("modcomp", "bfp")
+
+    def test_bfp_only_profile_advertises_one_codec(self):
+        assert _bfp_only_profile().supported_codecs() == ("bfp",)
+
+    def test_codec_config_default_is_preference(self):
+        srs = profile_by_name("srsRAN")
+        assert srs.codec_config() == srs.compression
+        assert srs.codec_config("modcomp") == srs.modcomp
+
+    def test_codec_config_unknown_name_raises(self):
+        with pytest.raises(CodecNegotiationError, match="unknown codec"):
+            profile_by_name("srsRAN").codec_config("zstd")
+
+    def test_codec_config_missing_modcomp_raises(self):
+        with pytest.raises(CodecNegotiationError, match="does not implement"):
+            _bfp_only_profile().codec_config("modcomp")
+
+    def test_negotiation_error_is_a_value_error(self):
+        assert issubclass(CodecNegotiationError, ValueError)
+
+
+class TestRuCapabilities:
+    def test_default_capabilities_accept_stock_negotiations(self):
+        caps = RuCapabilities()
+        for profile in ALL_PROFILES:
+            for codec in profile.supported_codecs():
+                assert (
+                    caps.validate_compression(profile.codec_config(codec))
+                    == []
+                )
+
+    def test_unsupported_meth_is_rejected(self):
+        caps = RuCapabilities(
+            supported_comp_meths=(NO_COMP_METH, BFP_COMP_METH)
+        )
+        errors = caps.validate_compression(
+            CompressionConfig(iq_width=4, comp_meth=MOD_COMP_METH)
+        )
+        assert errors
+
+    def test_unsupported_modcomp_width_is_rejected(self):
+        caps = RuCapabilities(supported_modcomp_widths=(3,))
+        assert caps.validate_compression(
+            CompressionConfig(iq_width=3, comp_meth=MOD_COMP_METH)
+        ) == []
+        assert caps.validate_compression(
+            CompressionConfig(iq_width=6, comp_meth=MOD_COMP_METH)
+        )
+
+
+class TestNegotiateCompression:
+    def test_default_negotiation_is_the_bfp_baseline(self):
+        for profile in ALL_PROFILES:
+            assert negotiate_compression(profile) == profile.compression
+
+    def test_pinned_modcomp_negotiates_vendor_width(self):
+        assert negotiate_compression(
+            profile_by_name("srsRAN"), "modcomp"
+        ) == CompressionConfig(iq_width=3, comp_meth=MOD_COMP_METH)
+        assert negotiate_compression(
+            profile_by_name("Radisys"), "modcomp"
+        ) == CompressionConfig(iq_width=6, comp_meth=MOD_COMP_METH)
+
+    def test_capable_radio_accepts(self):
+        config = negotiate_compression(
+            profile_by_name("CapGemini"), "modcomp", RuCapabilities()
+        )
+        assert config.comp_meth == MOD_COMP_METH
+
+    def test_incapable_radio_refuses_loudly(self):
+        caps = RuCapabilities(
+            supported_comp_meths=(NO_COMP_METH, BFP_COMP_METH)
+        )
+        with pytest.raises(CodecNegotiationError):
+            negotiate_compression(
+                profile_by_name("srsRAN"), "modcomp", caps
+            )
+
+    def test_wrong_width_radio_refuses(self):
+        caps = RuCapabilities(supported_modcomp_widths=(4,))
+        with pytest.raises(CodecNegotiationError):
+            negotiate_compression(
+                profile_by_name("srsRAN"), "modcomp", caps
+            )
+        assert negotiate_compression(
+            profile_by_name("CapGemini"), "modcomp", caps
+        ).iq_width == 4

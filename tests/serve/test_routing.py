@@ -80,6 +80,58 @@ class TestDerivation:
         assert t.routes_for_cell("ghost") == []
 
 
+class TestCodecVisibility:
+    """The operator sees each stream's negotiated codec in its route."""
+
+    def _mixed_spec(self):
+        modcomp = cell_dict("dense", pci=3)
+        modcomp["codec"] = "modcomp"
+        return make_spec(
+            cells=[cell_dict("anchor-a", pci=1), modcomp]
+        )
+
+    def test_default_codec_is_profile_preference(self):
+        t = table(make_spec())
+        assert {r.codec for r in t.routes} == {"bfp"}
+
+    def test_pinned_codec_reaches_every_stream_route(self):
+        t = table(self._mixed_spec())
+        assert {r.codec for r in t.routes_for_cell("dense")} == {"modcomp"}
+        assert {r.codec for r in t.routes_for_cell("anchor-a")} == {"bfp"}
+
+    def test_codec_is_in_route_dicts(self):
+        data = table(self._mixed_spec()).to_dict()
+        assert {r["codec"] for r in data["routes"]} == {"bfp", "modcomp"}
+
+    def test_added_modcomp_cell_routes_with_its_codec(self):
+        spec = make_spec()
+        cell = cell_dict("tenant-mc", pci=9)
+        cell["codec"] = "modcomp"
+        mutated = SpecDelta(
+            ops=(DeltaOp(op="add_cell", cell=cell),)
+        ).apply(spec)
+        t = RoutingTable.from_spec(mutated, plan_shards(mutated, 2))
+        assert {r.codec for r in t.routes_for_cell("tenant-mc")} == {
+            "modcomp"
+        }
+
+    def test_rechain_keeps_the_negotiated_codec(self):
+        spec = self._mixed_spec()
+        mutated = SpecDelta(
+            ops=(
+                DeltaOp(
+                    op="rechain",
+                    target="dense",
+                    chain=({"stage": "prb_monitor"},),
+                ),
+            )
+        ).apply(spec)
+        t = RoutingTable.from_spec(mutated, plan_shards(mutated, 1))
+        dense = t.routes_for_cell("dense")
+        assert {r.codec for r in dense} == {"modcomp"}
+        assert all(r.chain == ("prb_monitor",) for r in dense)
+
+
 class TestRebalance:
     def four_group_spec(self):
         return make_spec(cells=[
